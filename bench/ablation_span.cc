@@ -1,0 +1,124 @@
+// Span ablation (motivates §2/§3): fixed-span prefix trees (s = 1, 2, 4, 8)
+// versus ART (span 8 + adaptive node sizes) versus HOT (data-dependent span,
+// k = 32), measured as mean/max leaf depth, memory per key, and lookup
+// throughput, on a dense-ish integer data set and on sparse string keys.
+//
+// This regenerates the paper's Figure 2 argument quantitatively: static
+// spans trade height against wasted slots depending on the distribution;
+// adaptive node sizes fix the memory but not the fanout; HOT fixes both.
+//
+// Usage: ablation_span [--keys=N]
+
+#include <chrono>
+#include <cstdio>
+
+#include "art/art.h"
+#include "common/extractors.h"
+#include "hot/stats.h"
+#include "hot/trie.h"
+#include "prefixtree/prefix_tree.h"
+#include "ycsb/datasets.h"
+#include "ycsb/report.h"
+#include "ycsb/workload.h"
+
+using namespace hot;
+using namespace hot::ycsb;
+
+namespace {
+
+struct Row {
+  double mean_depth;
+  unsigned max_depth;
+  double bytes_per_key;
+  double lookup_mops;
+};
+
+template <typename Index, typename LookupKey>
+Row Measure(Index& index, MemoryCounter& counter, const DataSet& ds,
+            const std::vector<uint32_t>& order, LookupKey&& key_of) {
+  for (uint32_t i : order) index.Insert(ds.IsString() ? i : ds.ints[i]);
+  DepthStats stats;
+  index.ForEachLeaf([&](unsigned depth, uint64_t) { stats.Add(depth); });
+  auto t0 = std::chrono::steady_clock::now();
+  size_t hits = 0;
+  for (uint32_t i : order) {
+    hits += index.Lookup(key_of(i)).has_value();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  return {stats.Mean(), stats.max,
+          static_cast<double>(counter.live_bytes()) / ds.size(),
+          static_cast<double>(hits) / secs / 1e6};
+}
+
+void RunForDataSet(const BenchConfig& cfg, DataSetKind kind) {
+  DataSet ds = GenerateDataSet(kind, cfg.keys, cfg.seed);
+  std::vector<uint32_t> order = LoadOrder(ds.size(), cfg.seed);
+  printf("\n--- %s (%zu keys) ---\n", DataSetName(kind), ds.size());
+  Table table({"structure", "mean-depth", "max-depth", "bytes/key", "mops"});
+  table.PrintHeader();
+
+  auto print = [&](const char* name, const Row& row) {
+    table.PrintRow({name, Fmt(row.mean_depth), std::to_string(row.max_depth),
+                    Fmt(row.bytes_per_key, 1), Fmt(row.lookup_mops)});
+  };
+
+  if (ds.IsString()) {
+    auto key_of = [&](uint32_t i) { return TerminatedView(ds.strings[i]); };
+    for (unsigned span : {1u, 2u, 4u, 8u}) {
+      MemoryCounter counter;
+      PrefixTree<StringTableExtractor> tree{
+          span, StringTableExtractor(&ds.strings), &counter};
+      char name[32];
+      snprintf(name, sizeof(name), "prefix-s%u", span);
+      print(name, Measure(tree, counter, ds, order, key_of));
+    }
+    {
+      MemoryCounter counter;
+      ArtTree<StringTableExtractor> art{StringTableExtractor(&ds.strings),
+                                        &counter};
+      print("ART", Measure(art, counter, ds, order, key_of));
+    }
+    {
+      MemoryCounter counter;
+      HotTrie<StringTableExtractor> hot{StringTableExtractor(&ds.strings),
+                                        &counter};
+      print("HOT", Measure(hot, counter, ds, order, key_of));
+    }
+  } else {
+    // Integer lookups need materialized keys.
+    std::vector<U64Key> keys;
+    keys.reserve(ds.size());
+    for (uint64_t v : ds.ints) keys.emplace_back(v);
+    auto key_of = [&](uint32_t i) { return keys[i].ref(); };
+    for (unsigned span : {1u, 2u, 4u, 8u}) {
+      MemoryCounter counter;
+      PrefixTree<U64KeyExtractor> tree{span, U64KeyExtractor(), &counter};
+      char name[32];
+      snprintf(name, sizeof(name), "prefix-s%u", span);
+      print(name, Measure(tree, counter, ds, order, key_of));
+    }
+    {
+      MemoryCounter counter;
+      ArtTree<U64KeyExtractor> art{U64KeyExtractor(), &counter};
+      print("ART", Measure(art, counter, ds, order, key_of));
+    }
+    {
+      MemoryCounter counter;
+      HotTrie<U64KeyExtractor> hot{U64KeyExtractor(), &counter};
+      print("HOT", Measure(hot, counter, ds, order, key_of));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchConfig(argc, argv);
+  if (cfg.keys > 500'000) cfg.keys = 500'000;  // span-1 trees are huge
+  printf("ablation_span: static span (Fig. 2c) vs adaptive nodes (ART) vs "
+         "adaptive span (HOT)\n");
+  RunForDataSet(cfg, DataSetKind::kInteger);
+  RunForDataSet(cfg, DataSetKind::kEmail);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Appendix A: the full benchmark matrix — all six YCSB workloads (A-F) on
+// all four data sets, under both the uniform and the Zipfian request
+// distribution (workload D always uses "latest", per YCSB).  Together with
+// fig8_performance this regenerates every bar of the paper's Figure 8 and
+// Figure 12 (appendix).
+//
+// Usage: appendix_a [--keys=N] [--ops=N] [--workload=A|B|C|D|E|F]
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace hot;
+using namespace hot::ycsb;
+using namespace hot::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchConfig(argc, argv);
+  printf("appendix_a: reproduces paper Appendix A (all workloads x data "
+         "sets x distributions), %zu keys, %zu ops\n", cfg.keys, cfg.ops);
+  Table table({"workload", "dist", "dataset", "HOT", "ART", "Masstree", "BT"});
+  table.PrintHeader();
+  for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    if (!cfg.filter.empty() && cfg.filter[0] != w) continue;
+    for (Distribution dist : {Distribution::kUniform, Distribution::kZipfian}) {
+      WorkloadSpec spec = YcsbWorkload(w, dist);
+      // Workload D is latest-distributed by definition; running it twice
+      // would duplicate rows.
+      if (w == 'D' && dist == Distribution::kZipfian) continue;
+      for (DataSetKind kind : kAllDataSets) {
+        DataSet ds = GenerateDataSet(kind, CapacityFor(cfg.keys, cfg.ops, spec),
+                                     cfg.seed);
+        auto results = RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed);
+        std::vector<std::string> row = {std::string(1, w),
+                                        DistributionName(spec.dist),
+                                        DataSetName(kind)};
+        for (const auto& r : results) row.push_back(Fmt(r.run.TxnMops()));
+        table.PrintRow(row);
+      }
+    }
+  }
+  return 0;
+}

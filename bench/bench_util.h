@@ -1,0 +1,90 @@
+// Shared helpers for the figure-regeneration benches: run one benchmark
+// configuration across the four evaluated index structures (HOT, ART,
+// Masstree, BT — §6.1) on one of the four data sets, and print rows in the
+// paper's layout.
+
+#ifndef HOT_BENCH_BENCH_UTIL_H_
+#define HOT_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "art/art.h"
+#include "btree/btree.h"
+#include "hot/trie.h"
+#include "masstree/masstree.h"
+#include "ycsb/adapters.h"
+#include "ycsb/datasets.h"
+#include "ycsb/report.h"
+#include "ycsb/workload.h"
+
+namespace hot {
+namespace bench {
+
+struct IndexResult {
+  std::string index;
+  ycsb::RunResult run;
+};
+
+// Runs (load `load_n` keys, then `ops` transactions of `spec`) for each of
+// the four index structures on `ds`.  Results in paper order:
+// HOT, ART, Masstree, BT.
+inline std::vector<IndexResult> RunAllIndexes(const ycsb::DataSet& ds,
+                                              size_t load_n, size_t ops,
+                                              const ycsb::WorkloadSpec& spec,
+                                              uint64_t seed) {
+  std::vector<IndexResult> out;
+  auto run_one = [&](const char* name, auto make_adapter) {
+    auto adapter = make_adapter();
+    out.push_back({name, ycsb::RunBenchmark(*adapter, ds, load_n, ops, spec,
+                                            seed)});
+  };
+  if (ds.IsString()) {
+    run_one("HOT", [&] {
+      return std::make_unique<ycsb::StringDataSetAdapter<HotTrie>>(&ds);
+    });
+    run_one("ART", [&] {
+      return std::make_unique<ycsb::StringDataSetAdapter<ArtTree>>(&ds);
+    });
+    run_one("Masstree", [&] {
+      return std::make_unique<ycsb::StringDataSetAdapter<Masstree>>(&ds);
+    });
+    run_one("BT", [&] {
+      return std::make_unique<ycsb::StringDataSetAdapter<BTree>>(&ds);
+    });
+  } else {
+    run_one("HOT", [&] {
+      return std::make_unique<ycsb::IntDataSetAdapter<HotTrie>>(&ds);
+    });
+    run_one("ART", [&] {
+      return std::make_unique<ycsb::IntDataSetAdapter<ArtTree>>(&ds);
+    });
+    run_one("Masstree", [&] {
+      return std::make_unique<ycsb::IntDataSetAdapter<Masstree>>(&ds);
+    });
+    run_one("BT", [&] {
+      return std::make_unique<ycsb::IntDataSetAdapter<BTree>>(&ds);
+    });
+  }
+  return out;
+}
+
+inline const ycsb::DataSetKind kAllDataSets[] = {
+    ycsb::DataSetKind::kUrl, ycsb::DataSetKind::kEmail,
+    ycsb::DataSetKind::kYago, ycsb::DataSetKind::kInteger};
+
+// Number of records to pre-generate so that insert-bearing workloads never
+// run out: load keys + the expected insert count with head room.
+inline size_t CapacityFor(size_t keys, size_t ops,
+                          const ycsb::WorkloadSpec& spec) {
+  return keys + static_cast<size_t>(static_cast<double>(ops) * spec.insert *
+                                    1.2) +
+         16;
+}
+
+}  // namespace bench
+}  // namespace hot
+
+#endif  // HOT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Figure 8: single-threaded throughput (million operations per second) of
+// HOT, ART, Masstree and the B+-tree for
+//   * YCSB workload C (100% lookup, uniform),
+//   * YCSB workload E (95% short range scans of up to 100 entries,
+//     5% insert, uniform),
+//   * the insert-only load phase,
+// on the four data sets (url, email, yago, integer).
+//
+// Paper scale: 50M keys / 100M operations.  Default here: 2M/4M
+// (override with --keys/--ops or HOT_BENCH_KEYS/HOT_BENCH_OPS); the
+// relative shapes are scale-stable, absolute mops depend on the machine.
+//
+// Usage: fig8_performance [--keys=N] [--ops=N] [--workload=C|E|load]
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+using namespace hot;
+using namespace hot::ycsb;
+using namespace hot::bench;
+
+namespace {
+
+void RunWorkloadRow(const BenchConfig& cfg, char workload) {
+  printf("\n=== Figure 8: workload %c (uniform), %zu keys, %zu ops ===\n",
+         workload, cfg.keys, cfg.ops);
+  Table table({"dataset", "HOT", "ART", "Masstree", "BT", "metric"});
+  table.PrintHeader();
+  WorkloadSpec spec = YcsbWorkload(workload, Distribution::kUniform);
+  for (DataSetKind kind : kAllDataSets) {
+    DataSet ds = GenerateDataSet(kind, CapacityFor(cfg.keys, cfg.ops, spec),
+                                 cfg.seed);
+    auto results = RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed);
+    std::vector<std::string> row = {DataSetName(kind)};
+    for (const auto& r : results) row.push_back(Fmt(r.run.TxnMops()));
+    row.push_back("mops");
+    table.PrintRow(row);
+  }
+}
+
+void RunInsertOnlyRow(const BenchConfig& cfg) {
+  printf("\n=== Figure 8: insert-only (load phase), %zu keys ===\n",
+         cfg.keys);
+  Table table({"dataset", "HOT", "ART", "Masstree", "BT", "metric"});
+  table.PrintHeader();
+  WorkloadSpec spec = YcsbWorkload('C', Distribution::kUniform);
+  for (DataSetKind kind : kAllDataSets) {
+    DataSet ds = GenerateDataSet(kind, cfg.keys, cfg.seed);
+    // Zero transaction ops: we time only the load.
+    auto results = RunAllIndexes(ds, cfg.keys, 0, spec, cfg.seed);
+    std::vector<std::string> row = {DataSetName(kind)};
+    for (const auto& r : results) row.push_back(Fmt(r.run.LoadMops()));
+    row.push_back("mops");
+    table.PrintRow(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchConfig(argc, argv);
+  printf("fig8_performance: reproduces paper Figure 8 (workloads C, E and "
+         "insert-only across 4 data sets)\n");
+  bool all = cfg.filter.empty();
+  if (all || cfg.filter == "C") RunWorkloadRow(cfg, 'C');
+  if (all || cfg.filter == "E") RunWorkloadRow(cfg, 'E');
+  if (all || cfg.filter == "load") RunInsertOnlyRow(cfg);
+  return 0;
+}

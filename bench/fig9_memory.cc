@@ -1,0 +1,54 @@
+// Figure 9: memory consumption of each index structure after loading each
+// data set, reported as total bytes, GB-equivalent at paper scale, and
+// bytes per key.  Also prints the §6.3 reference lines: the 8 bytes/key
+// floor for raw tuple identifiers and the raw key bytes of the two textual
+// data sets.
+//
+// Paper-scale observations to compare shape against (50M keys):
+//   * HOT is smallest on every data set: 11.4 - 14.4 bytes/key.
+//   * BT is constant (~25 bytes/key equivalent) across data sets.
+//   * Masstree/ART grow strongly for long textual keys.
+//   * HOT stores both textual data sets in less space than the raw keys.
+//
+// Usage: fig9_memory [--keys=N]
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace hot;
+using namespace hot::ycsb;
+using namespace hot::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchConfig(argc, argv);
+  printf("fig9_memory: reproduces paper Figure 9 (index memory after "
+         "loading %zu keys)\n\n", cfg.keys);
+  Table table({"dataset", "index", "total", "bytes/key", "vs-tids",
+               "vs-rawkeys"});
+  table.PrintHeader();
+  const double tid_floor = 8.0;  // 8-byte tuple identifiers (paper: 0.37GB)
+  WorkloadSpec spec = YcsbWorkload('C', Distribution::kUniform);
+  for (DataSetKind kind : kAllDataSets) {
+    DataSet ds = GenerateDataSet(kind, cfg.keys, cfg.seed);
+    double raw_key_bytes_per_key =
+        static_cast<double>(ds.RawKeyBytes()) / static_cast<double>(ds.size());
+    auto results = RunAllIndexes(ds, cfg.keys, 0, spec, cfg.seed);
+    for (const auto& r : results) {
+      double bpk = static_cast<double>(r.run.memory_bytes) /
+                   static_cast<double>(cfg.keys);
+      table.PrintRow({DataSetName(kind), r.index,
+                      FmtBytes(r.run.memory_bytes), Fmt(bpk, 1),
+                      Fmt(bpk / tid_floor, 2) + "x",
+                      ds.IsString() ? Fmt(bpk / raw_key_bytes_per_key, 2) + "x"
+                                    : std::string("-")});
+    }
+    if (ds.IsString()) {
+      printf("  (raw %s keys: %s total, %.1f bytes/key)\n", DataSetName(kind),
+             FmtBytes(ds.RawKeyBytes()).c_str(), raw_key_bytes_per_key);
+    }
+  }
+  printf("\n(8-byte tid floor: %s at this scale)\n",
+         FmtBytes(cfg.keys * 8).c_str());
+  return 0;
+}

@@ -1,0 +1,374 @@
+// Adaptive Radix Tree (Leis et al., ICDE 2013) — single-threaded variant.
+//
+// The paper's primary trie baseline (§6.1): span 8, adaptive node sizes
+// (art_node.h), hybrid path compression, single-value leaves with lazy
+// expansion.  The public API mirrors HotTrie so the YCSB driver and the
+// benchmark harness treat all indexes uniformly: values are 63-bit tuple
+// identifiers, keys are resolved through a KeyExtractor, lookups verify the
+// candidate leaf against the search key.
+
+#ifndef HOT_ART_ART_H_
+#define HOT_ART_ART_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/alloc.h"
+#include "common/extractors.h"
+#include "common/key.h"
+#include "art/art_node.h"
+
+namespace hot {
+
+template <typename KeyExtractor>
+class ArtTree {
+ public:
+  explicit ArtTree(KeyExtractor extractor = KeyExtractor(),
+                   MemoryCounter* counter = nullptr)
+      : extractor_(extractor), alloc_(counter), root_(art::ArtEntry::kEmpty) {}
+
+  ~ArtTree() { Clear(); }
+
+  ArtTree(const ArtTree&) = delete;
+  ArtTree& operator=(const ArtTree&) = delete;
+
+  // Inserts `value` under its extracted key; false if the key exists.
+  bool Insert(uint64_t value) {
+    KeyScratch scratch;
+    KeyRef key = extractor_(value, scratch);
+    return InsertRec(&root_, key, value, 0);
+  }
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    uint64_t cur = root_;
+    unsigned depth = 0;
+    while (art::ArtEntry::IsNode(cur)) {
+      art::ArtNodeHeader* n = art::ArtHeader(cur);
+      // Optimistic prefix skip: compare the stored snippet, trust the rest
+      // (the final leaf comparison catches mismatches).
+      unsigned stored =
+          n->prefix_len < art::kArtMaxPrefix ? n->prefix_len : art::kArtMaxPrefix;
+      for (unsigned i = 0; i < stored; ++i) {
+        if (key.ByteOrZero(depth + i) != n->prefix[i]) return std::nullopt;
+      }
+      depth += n->prefix_len;
+      uint64_t* child = art::ArtFindChild(n, key.ByteOrZero(depth));
+      if (child == nullptr) return std::nullopt;
+      cur = *child;
+      ++depth;
+    }
+    if (cur == art::ArtEntry::kEmpty) return std::nullopt;
+    KeyScratch scratch;
+    uint64_t payload = art::ArtEntry::TidPayload(cur);
+    if (extractor_(payload, scratch) == key) return payload;
+    return std::nullopt;
+  }
+
+  bool Remove(KeyRef key) {
+    return RemoveRec(&root_, key, 0);
+  }
+
+  // Visits up to `limit` values with key >= start, in key order.
+  template <typename Fn>
+  size_t ScanFrom(KeyRef start, size_t limit, Fn&& fn) const {
+    size_t seen = 0;
+    ScanRec(root_, start, 0, false, limit, &seen, fn);
+    return seen;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    ClearRec(root_);
+    root_ = art::ArtEntry::kEmpty;
+    size_ = 0;
+  }
+
+  // Leaf-depth visitor (Fig. 11): depth counts inner nodes on the path.
+  void ForEachLeaf(
+      const std::function<void(unsigned depth, uint64_t value)>& fn) const {
+    LeafRec(root_, 0, fn);
+  }
+
+  MemoryCounter* counter() const { return alloc_.counter(); }
+
+ private:
+  // Longest common span of `key` (from `depth`) and the node's compressed
+  // path.  Uses the inline snippet for the first kArtMaxPrefix bytes and
+  // falls back to a leaf key beyond it (hybrid path compression).
+  unsigned CheckPrefix(art::ArtNodeHeader* n, KeyRef key, unsigned depth,
+                       KeyScratch& scratch) const {
+    unsigned i = 0;
+    unsigned stored =
+        n->prefix_len < art::kArtMaxPrefix ? n->prefix_len : art::kArtMaxPrefix;
+    for (; i < stored; ++i) {
+      if (key.ByteOrZero(depth + i) != n->prefix[i]) return i;
+    }
+    if (n->prefix_len > art::kArtMaxPrefix) {
+      KeyRef leaf_key = extractor_(
+          art::ArtEntry::TidPayload(MinLeaf(art::ArtMakeNode(n))), scratch);
+      for (; i < n->prefix_len; ++i) {
+        if (key.ByteOrZero(depth + i) != leaf_key.ByteOrZero(depth + i)) {
+          return i;
+        }
+      }
+    }
+    return n->prefix_len;
+  }
+
+  uint64_t MinLeaf(uint64_t entry) const {
+    while (art::ArtEntry::IsNode(entry)) {
+      uint64_t first = art::ArtEntry::kEmpty;
+      art::ArtForEachChild(art::ArtHeader(entry), [&](uint8_t, uint64_t e) {
+        first = e;
+        return false;
+      });
+      entry = first;
+    }
+    return entry;
+  }
+
+  bool InsertRec(uint64_t* slot, KeyRef key, uint64_t value, unsigned depth) {
+    if (*slot == art::ArtEntry::kEmpty) {
+      *slot = art::ArtEntry::MakeTid(value);
+      ++size_;
+      return true;
+    }
+
+    if (art::ArtEntry::IsTid(*slot)) {
+      // Lazy-expanded leaf: split at the first differing byte.
+      KeyScratch scratch;
+      uint64_t existing_payload = art::ArtEntry::TidPayload(*slot);
+      KeyRef existing = extractor_(existing_payload, scratch);
+      unsigned m = depth;
+      size_t limit = std::max(key.size(), existing.size());
+      while (m < limit && key.ByteOrZero(m) == existing.ByteOrZero(m)) ++m;
+      if (m >= limit && key.size() == existing.size()) return false;  // dup
+      auto* node = reinterpret_cast<art::ArtNode4*>(
+          art::ArtAllocNode(alloc_, art::ArtNodeType::kNode4));
+      node->header.prefix_len = m - depth;
+      for (unsigned i = 0; i < std::min<unsigned>(m - depth, art::kArtMaxPrefix);
+           ++i) {
+        node->header.prefix[i] = key.ByteOrZero(depth + i);
+      }
+      art::ArtAddChild(&node->header, existing.ByteOrZero(m), *slot);
+      art::ArtAddChild(&node->header, key.ByteOrZero(m),
+                       art::ArtEntry::MakeTid(value));
+      *slot = art::ArtMakeNode(&node->header);
+      ++size_;
+      return true;
+    }
+
+    art::ArtNodeHeader* n = art::ArtHeader(*slot);
+    KeyScratch scratch;
+    unsigned matched = CheckPrefix(n, key, depth, scratch);
+    if (matched < n->prefix_len) {
+      // Split the compressed path at the mismatch.
+      auto* parent = reinterpret_cast<art::ArtNode4*>(
+          art::ArtAllocNode(alloc_, art::ArtNodeType::kNode4));
+      parent->header.prefix_len = matched;
+      for (unsigned i = 0; i < std::min<unsigned>(matched, art::kArtMaxPrefix);
+           ++i) {
+        parent->header.prefix[i] = key.ByteOrZero(depth + i);
+      }
+      // Old node keeps the tail of its prefix after the mismatch byte.
+      uint8_t old_byte;
+      unsigned tail = n->prefix_len - matched - 1;
+      if (n->prefix_len <= art::kArtMaxPrefix) {
+        old_byte = n->prefix[matched];
+        std::memmove(n->prefix, n->prefix + matched + 1,
+                     std::min<unsigned>(tail, art::kArtMaxPrefix));
+      } else {
+        // Recover bytes beyond the stored snippet from a leaf.
+        KeyScratch leaf_scratch;
+        KeyRef leaf_key = extractor_(
+            art::ArtEntry::TidPayload(MinLeaf(*slot)), leaf_scratch);
+        old_byte = leaf_key.ByteOrZero(depth + matched);
+        for (unsigned i = 0;
+             i < std::min<unsigned>(tail, art::kArtMaxPrefix); ++i) {
+          n->prefix[i] = leaf_key.ByteOrZero(depth + matched + 1 + i);
+        }
+      }
+      n->prefix_len = tail;
+      art::ArtAddChild(&parent->header, old_byte, *slot);
+      art::ArtAddChild(&parent->header, key.ByteOrZero(depth + matched),
+                       art::ArtEntry::MakeTid(value));
+      *slot = art::ArtMakeNode(&parent->header);
+      ++size_;
+      return true;
+    }
+
+    depth += n->prefix_len;
+    uint8_t c = key.ByteOrZero(depth);
+    uint64_t* child = art::ArtFindChild(n, c);
+    if (child != nullptr) return InsertRec(child, key, value, depth + 1);
+    if (art::ArtIsFull(n)) {
+      n = art::ArtGrow(alloc_, n);
+      *slot = art::ArtMakeNode(n);
+    }
+    art::ArtAddChild(n, c, art::ArtEntry::MakeTid(value));
+    ++size_;
+    return true;
+  }
+
+  bool RemoveRec(uint64_t* slot, KeyRef key, unsigned depth) {
+    if (*slot == art::ArtEntry::kEmpty) return false;
+    if (art::ArtEntry::IsTid(*slot)) {
+      KeyScratch scratch;
+      if (!(extractor_(art::ArtEntry::TidPayload(*slot), scratch) == key)) {
+        return false;
+      }
+      *slot = art::ArtEntry::kEmpty;
+      --size_;
+      return true;
+    }
+    art::ArtNodeHeader* n = art::ArtHeader(*slot);
+    KeyScratch scratch;
+    if (CheckPrefix(n, key, depth, scratch) < n->prefix_len) return false;
+    depth += n->prefix_len;
+    uint8_t c = key.ByteOrZero(depth);
+    uint64_t* child = art::ArtFindChild(n, c);
+    if (child == nullptr) return false;
+
+    if (art::ArtEntry::IsTid(*child)) {
+      KeyScratch leaf_scratch;
+      if (!(extractor_(art::ArtEntry::TidPayload(*child), leaf_scratch) ==
+            key)) {
+        return false;
+      }
+      art::ArtRemoveChild(n, c);
+      --size_;
+      if (n->Count() == 1 && n->type == art::ArtNodeType::kNode4) {
+        CollapseNode4(slot);
+      } else {
+        art::ArtNodeHeader* shrunk = art::ArtMaybeShrink(alloc_, n);
+        if (shrunk != n) *slot = art::ArtMakeNode(shrunk);
+      }
+      return true;
+    }
+    if (!RemoveRec(child, key, depth + 1)) return false;
+    // Child subtrees never become empty (leaves are removed at the parent),
+    // but a recursive removal may have left *child collapsed already.
+    return true;
+  }
+
+  // Replaces a 1-child Node4 with its child, merging compressed paths.
+  void CollapseNode4(uint64_t* slot) {
+    auto* node = reinterpret_cast<art::ArtNode4*>(art::ArtHeader(*slot));
+    uint64_t child = node->children[0];
+    uint8_t byte = node->keys[0];
+    if (art::ArtEntry::IsNode(child)) {
+      art::ArtNodeHeader* ch = art::ArtHeader(child);
+      // new prefix = node.prefix + byte + child.prefix
+      unsigned np = node->header.prefix_len;
+      uint8_t merged[art::kArtMaxPrefix];
+      unsigned w = 0;
+      for (unsigned i = 0; i < np && w < art::kArtMaxPrefix; ++i) {
+        merged[w++] = node->header.prefix[i];
+      }
+      if (w < art::kArtMaxPrefix) merged[w++] = byte;
+      for (unsigned i = 0; i < ch->prefix_len && w < art::kArtMaxPrefix; ++i) {
+        merged[w++] = ch->prefix[i];
+      }
+      std::memcpy(ch->prefix, merged, w);
+      ch->prefix_len = np + 1 + ch->prefix_len;
+      // Note: bytes beyond kArtMaxPrefix are recovered from leaves (hybrid
+      // scheme), so truncation of `merged` is fine.
+    }
+    art::ArtFreeNode(alloc_, &node->header);
+    *slot = child;
+  }
+
+  // Ordered scan with a lower bound.  `past` = subtree already known to be
+  // entirely >= start.  Returns false when the limit is hit.
+  template <typename Fn>
+  bool ScanRec(uint64_t entry, KeyRef start, unsigned depth, bool past,
+               size_t limit, size_t* seen, Fn&& fn) const {
+    if (entry == art::ArtEntry::kEmpty) return true;
+    if (art::ArtEntry::IsTid(entry)) {
+      uint64_t payload = art::ArtEntry::TidPayload(entry);
+      if (!past) {
+        KeyScratch scratch;
+        if (extractor_(payload, scratch).Compare(start) < 0) return true;
+      }
+      fn(payload);
+      return ++*seen < limit;
+    }
+    art::ArtNodeHeader* n = art::ArtHeader(entry);
+    bool subtree_past = past;
+    unsigned next_depth = depth + n->prefix_len;
+    if (!past) {
+      // Compare the compressed path against the start key to decide whether
+      // this subtree is entirely before/after the bound.
+      KeyScratch scratch;
+      KeyRef leaf_key =
+          extractor_(art::ArtEntry::TidPayload(MinLeaf(entry)), scratch);
+      for (unsigned i = 0; i < n->prefix_len; ++i) {
+        uint8_t pb = i < art::kArtMaxPrefix ? n->prefix[i]
+                                            : leaf_key.ByteOrZero(depth + i);
+        uint8_t sb = start.ByteOrZero(depth + i);
+        if (pb > sb) {
+          subtree_past = true;
+          break;
+        }
+        if (pb < sb) return true;  // whole subtree < start
+      }
+    }
+    bool keep_going = true;
+    art::ArtForEachChild(n, [&](uint8_t byte, uint64_t child) {
+      if (!subtree_past) {
+        uint8_t sb = start.ByteOrZero(next_depth);
+        if (byte < sb) return true;  // skip: subtree < start
+        if (byte > sb) {
+          keep_going = ScanRec(child, start, next_depth + 1, true, limit,
+                               seen, fn);
+          return keep_going;
+        }
+        keep_going = ScanRec(child, start, next_depth + 1, false, limit,
+                             seen, fn);
+        return keep_going;
+      }
+      keep_going =
+          ScanRec(child, start, next_depth + 1, true, limit, seen, fn);
+      return keep_going;
+    });
+    return keep_going;
+  }
+
+  void LeafRec(uint64_t entry, unsigned depth,
+               const std::function<void(unsigned, uint64_t)>& fn) const {
+    if (entry == art::ArtEntry::kEmpty) return;
+    if (art::ArtEntry::IsTid(entry)) {
+      fn(depth, art::ArtEntry::TidPayload(entry));
+      return;
+    }
+    art::ArtForEachChild(art::ArtHeader(entry), [&](uint8_t, uint64_t child) {
+      LeafRec(child, depth + 1, fn);
+      return true;
+    });
+  }
+
+  void ClearRec(uint64_t entry) {
+    if (!art::ArtEntry::IsNode(entry)) return;
+    art::ArtNodeHeader* n = art::ArtHeader(entry);
+    art::ArtForEachChild(n, [&](uint8_t, uint64_t child) {
+      ClearRec(child);
+      return true;
+    });
+    art::ArtFreeNode(alloc_, n);
+  }
+
+  KeyExtractor extractor_;
+  mutable CountingAllocator alloc_;
+  uint64_t root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hot
+
+#endif  // HOT_ART_ART_H_

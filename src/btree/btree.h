@@ -1,0 +1,491 @@
+// Cache-optimized in-memory B+-tree in the style of the STX B+-tree, the
+// paper's comparison-based baseline ("BT", §6.1).
+//
+// Design parameters follow the paper: 256-byte leaf nodes with 16 slots of
+// 16 bytes (8-byte key word + 8-byte tuple identifier), so the leaf fanout
+// is 16.  Like the benchmarked STX configuration, keys longer than 8 bytes
+// are represented by their first 8 bytes (big-endian word, so word order ==
+// lexicographic order) and resolved through the tuple identifier on ties —
+// this is why the paper's BT memory footprint is identical across data sets.
+// Inner nodes store the same composite (word, tid) separators with 16-way
+// fanout.  Leaves are chained for range scans.
+
+#ifndef HOT_BTREE_BTREE_H_
+#define HOT_BTREE_BTREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+
+#include "common/alloc.h"
+#include "common/extractors.h"
+#include "common/key.h"
+
+namespace hot {
+
+template <typename KeyExtractor>
+class BTree {
+ public:
+  static constexpr unsigned kLeafSlots = 16;
+  static constexpr unsigned kInnerSlots = 16;  // children per inner node
+
+  explicit BTree(KeyExtractor extractor = KeyExtractor(),
+                 MemoryCounter* counter = nullptr)
+      : extractor_(extractor), alloc_(counter) {}
+
+  ~BTree() { Clear(); }
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  bool Insert(uint64_t value) {
+    KeyScratch scratch;
+    KeyRef key = extractor_(value, scratch);
+    CompositeKey ck{KeyWord(key), value};
+    if (root_ == nullptr) {
+      LeafNode* leaf = NewLeaf();
+      leaf->keys[0] = ck;
+      leaf->header.count = 1;
+      root_ = &leaf->header;
+      ++size_;
+      return true;
+    }
+    SplitInfo split;
+    if (!InsertRec(root_, ck, key, &split)) return false;
+    if (split.happened) {
+      InnerNode* new_root = NewInner();
+      new_root->keys[0] = split.separator;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.right;
+      new_root->header.count = 1;
+      root_ = &new_root->header;
+    }
+    ++size_;
+    return true;
+  }
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    if (root_ == nullptr) return std::nullopt;
+    CompositeKey probe{KeyWord(key), 0};
+    NodeHeader* node = root_;
+    while (!node->is_leaf) {
+      InnerNode* inner = AsInner(node);
+      node = inner->children[ChildIndex(inner, probe, key)];
+    }
+    LeafNode* leaf = AsLeaf(node);
+    unsigned i = LeafLowerBound(leaf, probe, key);
+    if (i < leaf->header.count && KeyEquals(leaf->keys[i], key)) {
+      return leaf->keys[i].tid;
+    }
+    return std::nullopt;
+  }
+
+  bool Remove(KeyRef key) {
+    if (root_ == nullptr) return false;
+    CompositeKey probe{KeyWord(key), 0};
+    bool removed = RemoveRec(root_, probe, key);
+    if (!removed) return false;
+    --size_;
+    // Shrink the root.
+    if (!root_->is_leaf && root_->count == 0) {
+      InnerNode* old_root = AsInner(root_);
+      root_ = old_root->children[0];
+      FreeNode(&old_root->header);
+    } else if (root_->is_leaf && root_->count == 0) {
+      FreeNode(root_);
+      root_ = nullptr;
+    }
+    return true;
+  }
+
+  // Visits up to `limit` values with key >= start in key order.
+  template <typename Fn>
+  size_t ScanFrom(KeyRef start, size_t limit, Fn&& fn) const {
+    if (root_ == nullptr) return 0;
+    CompositeKey probe{KeyWord(start), 0};
+    NodeHeader* node = root_;
+    while (!node->is_leaf) {
+      InnerNode* inner = AsInner(node);
+      node = inner->children[ChildIndex(inner, probe, start)];
+    }
+    LeafNode* leaf = AsLeaf(node);
+    unsigned i = LeafLowerBound(leaf, probe, start);
+    size_t seen = 0;
+    while (leaf != nullptr && seen < limit) {
+      for (; i < leaf->header.count && seen < limit; ++i) {
+        fn(leaf->keys[i].tid);
+        ++seen;
+      }
+      leaf = leaf->next;
+      i = 0;
+    }
+    return seen;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    if (root_ != nullptr) ClearRec(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  MemoryCounter* counter() const { return alloc_.counter(); }
+
+  // Height in node levels (1 = only a leaf).
+  unsigned Height() const {
+    unsigned h = 0;
+    NodeHeader* node = root_;
+    while (node != nullptr) {
+      ++h;
+      if (node->is_leaf) break;
+      node = AsInner(node)->children[0];
+    }
+    return h;
+  }
+
+ private:
+  // 8-byte big-endian word of the key's first bytes: word order equals
+  // lexicographic byte order on the prefix.
+  static uint64_t KeyWord(KeyRef key) {
+    if (key.size() >= 8) return LoadBigEndian64(key.data());
+    uint8_t buf[8] = {0};
+    std::memcpy(buf, key.data(), key.size());
+    return LoadBigEndian64(buf);
+  }
+
+  struct CompositeKey {
+    uint64_t word;  // first 8 key bytes, big-endian
+    uint64_t tid;   // resolves the full key on word ties
+  };
+
+  struct NodeHeader {
+    bool is_leaf;
+    uint16_t count;  // keys in this node
+  };
+
+  struct LeafNode {
+    NodeHeader header;
+    LeafNode* next;
+    LeafNode* prev;
+    CompositeKey keys[kLeafSlots];
+  };
+
+  struct InnerNode {
+    NodeHeader header;
+    CompositeKey keys[kInnerSlots - 1];
+    NodeHeader* children[kInnerSlots];
+  };
+
+  struct SplitInfo {
+    bool happened = false;
+    CompositeKey separator;
+    NodeHeader* right = nullptr;
+  };
+
+  static LeafNode* AsLeaf(NodeHeader* n) {
+    return reinterpret_cast<LeafNode*>(n);
+  }
+  static InnerNode* AsInner(NodeHeader* n) {
+    return reinterpret_cast<InnerNode*>(n);
+  }
+
+  LeafNode* NewLeaf() {
+    void* mem = alloc_.AllocateAligned(sizeof(LeafNode), 64);
+    auto* leaf = new (mem) LeafNode();
+    leaf->header.is_leaf = true;
+    leaf->header.count = 0;
+    leaf->next = nullptr;
+    leaf->prev = nullptr;
+    return leaf;
+  }
+
+  InnerNode* NewInner() {
+    void* mem = alloc_.AllocateAligned(sizeof(InnerNode), 64);
+    auto* inner = new (mem) InnerNode();
+    inner->header.is_leaf = false;
+    inner->header.count = 0;
+    return inner;
+  }
+
+  void FreeNode(NodeHeader* n) {
+    alloc_.FreeAligned(n, n->is_leaf ? sizeof(LeafNode) : sizeof(InnerNode),
+                       64);
+  }
+
+  // Three-way comparison of a stored composite key against a search key.
+  // The word decides almost always; ties load the stored key via its tid.
+  int Compare(const CompositeKey& stored, KeyRef key) const {
+    uint64_t kw = KeyWord(key);
+    if (stored.word != kw) return stored.word < kw ? -1 : 1;
+    KeyScratch scratch;
+    KeyRef stored_key = extractor_(stored.tid, scratch);
+    return stored_key.Compare(key);
+  }
+
+  bool KeyEquals(const CompositeKey& stored, KeyRef key) const {
+    return Compare(stored, key) == 0;
+  }
+
+  // First index i with keys[i] >= key.
+  unsigned LeafLowerBound(LeafNode* leaf, const CompositeKey& probe,
+                          KeyRef key) const {
+    unsigned lo = 0, hi = leaf->header.count;
+    while (lo < hi) {
+      unsigned mid = (lo + hi) / 2;
+      // Fast path on the word, slow path on ties.
+      if (leaf->keys[mid].word < probe.word ||
+          (leaf->keys[mid].word == probe.word &&
+           Compare(leaf->keys[mid], key) < 0)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Child to descend into.  Separators equal the smallest key of their
+  // right subtree, so a key equal to a separator routes right: upper-bound
+  // semantics.
+  unsigned ChildIndex(InnerNode* inner, const CompositeKey& probe,
+                      KeyRef key) const {
+    unsigned lo = 0, hi = inner->header.count;
+    while (lo < hi) {
+      unsigned mid = (lo + hi) / 2;
+      if (inner->keys[mid].word < probe.word ||
+          (inner->keys[mid].word == probe.word &&
+           Compare(inner->keys[mid], key) <= 0)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  bool InsertRec(NodeHeader* node, const CompositeKey& ck, KeyRef key,
+                 SplitInfo* split) {
+    if (node->is_leaf) {
+      LeafNode* leaf = AsLeaf(node);
+      CompositeKey probe{ck.word, 0};
+      unsigned i = LeafLowerBound(leaf, probe, key);
+      if (i < leaf->header.count && KeyEquals(leaf->keys[i], key)) {
+        return false;  // duplicate
+      }
+      if (leaf->header.count < kLeafSlots) {
+        std::memmove(leaf->keys + i + 1, leaf->keys + i,
+                     (leaf->header.count - i) * sizeof(CompositeKey));
+        leaf->keys[i] = ck;
+        ++leaf->header.count;
+        return true;
+      }
+      // Split the leaf, then insert into the proper half.
+      LeafNode* right = NewLeaf();
+      unsigned mid = kLeafSlots / 2;
+      right->header.count = kLeafSlots - mid;
+      std::memcpy(right->keys, leaf->keys + mid,
+                  right->header.count * sizeof(CompositeKey));
+      leaf->header.count = mid;
+      right->next = leaf->next;
+      right->prev = leaf;
+      if (leaf->next != nullptr) leaf->next->prev = right;
+      leaf->next = right;
+      split->happened = true;
+      split->separator = right->keys[0];
+      split->right = &right->header;
+      // i == mid still belongs left: the duplicate check above guarantees
+      // keys[mid] (the separator) is strictly greater than the new key.
+      if (i <= mid) {
+        std::memmove(leaf->keys + i + 1, leaf->keys + i,
+                     (leaf->header.count - i) * sizeof(CompositeKey));
+        leaf->keys[i] = ck;
+        ++leaf->header.count;
+      } else {
+        unsigned j = i - mid;
+        std::memmove(right->keys + j + 1, right->keys + j,
+                     (right->header.count - j) * sizeof(CompositeKey));
+        right->keys[j] = ck;
+        ++right->header.count;
+      }
+      return true;
+    }
+
+    InnerNode* inner = AsInner(node);
+    CompositeKey probe{ck.word, 0};
+    unsigned c = ChildIndex(inner, probe, key);
+    SplitInfo child_split;
+    if (!InsertRec(inner->children[c], ck, key, &child_split)) return false;
+    if (!child_split.happened) return true;
+
+    if (inner->header.count < kInnerSlots - 1) {
+      InsertSeparator(inner, c, child_split.separator, child_split.right);
+      return true;
+    }
+    // Split this inner node: middle separator moves up.
+    InnerNode* right = NewInner();
+    unsigned mid = (kInnerSlots - 1) / 2;  // index of the promoted key
+    CompositeKey promoted = inner->keys[mid];
+    right->header.count = inner->header.count - mid - 1;
+    std::memcpy(right->keys, inner->keys + mid + 1,
+                right->header.count * sizeof(CompositeKey));
+    std::memcpy(right->children, inner->children + mid + 1,
+                (right->header.count + 1) * sizeof(NodeHeader*));
+    inner->header.count = mid;
+    if (c <= mid) {
+      InsertSeparator(inner, c, child_split.separator, child_split.right);
+    } else {
+      InsertSeparator(right, c - mid - 1, child_split.separator,
+                      child_split.right);
+    }
+    split->happened = true;
+    split->separator = promoted;
+    split->right = &right->header;
+    return true;
+  }
+
+  void InsertSeparator(InnerNode* inner, unsigned at, const CompositeKey& sep,
+                       NodeHeader* right_child) {
+    std::memmove(inner->keys + at + 1, inner->keys + at,
+                 (inner->header.count - at) * sizeof(CompositeKey));
+    std::memmove(inner->children + at + 2, inner->children + at + 1,
+                 (inner->header.count - at) * sizeof(NodeHeader*));
+    inner->keys[at] = sep;
+    inner->children[at + 1] = right_child;
+    ++inner->header.count;
+  }
+
+  bool RemoveRec(NodeHeader* node, const CompositeKey& probe, KeyRef key) {
+    if (node->is_leaf) {
+      LeafNode* leaf = AsLeaf(node);
+      unsigned i = LeafLowerBound(leaf, probe, key);
+      if (i >= leaf->header.count || !KeyEquals(leaf->keys[i], key)) {
+        return false;
+      }
+      std::memmove(leaf->keys + i, leaf->keys + i + 1,
+                   (leaf->header.count - i - 1) * sizeof(CompositeKey));
+      --leaf->header.count;
+      return true;
+    }
+    InnerNode* inner = AsInner(node);
+    unsigned c = ChildIndex(inner, probe, key);
+    NodeHeader* child = inner->children[c];
+    if (!RemoveRec(child, probe, key)) return false;
+    // Rebalance on underflow (< half full).
+    unsigned min_fill = child->is_leaf ? kLeafSlots / 4 : kInnerSlots / 4;
+    if (child->count < min_fill) Rebalance(inner, c);
+    return true;
+  }
+
+  void Rebalance(InnerNode* parent, unsigned c) {
+    NodeHeader* child = parent->children[c];
+    // Prefer merging with the left sibling; fall back to the right one.
+    unsigned left_idx = c > 0 ? c - 1 : c;
+    unsigned right_idx = left_idx + 1;
+    if (right_idx > parent->header.count) return;  // single child: nothing
+    NodeHeader* left = parent->children[left_idx];
+    NodeHeader* right = parent->children[right_idx];
+    if (child->is_leaf) {
+      LeafNode* l = AsLeaf(left);
+      LeafNode* r = AsLeaf(right);
+      if (l->header.count + r->header.count <= kLeafSlots) {
+        // Merge right into left.
+        std::memcpy(l->keys + l->header.count, r->keys,
+                    r->header.count * sizeof(CompositeKey));
+        l->header.count += r->header.count;
+        l->next = r->next;
+        if (r->next != nullptr) r->next->prev = l;
+        RemoveSeparator(parent, left_idx);
+        FreeNode(&r->header);
+      } else {
+        // Borrow: rebalance half-and-half, update separator.
+        unsigned total = l->header.count + r->header.count;
+        unsigned want_left = total / 2;
+        if (l->header.count > want_left) {
+          unsigned moved = l->header.count - want_left;
+          std::memmove(r->keys + moved, r->keys,
+                       r->header.count * sizeof(CompositeKey));
+          std::memcpy(r->keys, l->keys + want_left,
+                      moved * sizeof(CompositeKey));
+          r->header.count += moved;
+          l->header.count = want_left;
+        } else {
+          unsigned moved = want_left - l->header.count;
+          std::memcpy(l->keys + l->header.count, r->keys,
+                      moved * sizeof(CompositeKey));
+          std::memmove(r->keys, r->keys + moved,
+                       (r->header.count - moved) * sizeof(CompositeKey));
+          r->header.count -= moved;
+          l->header.count = want_left;
+        }
+        parent->keys[left_idx] = r->keys[0];
+      }
+    } else {
+      InnerNode* l = AsInner(left);
+      InnerNode* r = AsInner(right);
+      if (l->header.count + 1 + r->header.count <= kInnerSlots - 1) {
+        // Merge: parent separator comes down between them.
+        l->keys[l->header.count] = parent->keys[left_idx];
+        std::memcpy(l->keys + l->header.count + 1, r->keys,
+                    r->header.count * sizeof(CompositeKey));
+        std::memcpy(l->children + l->header.count + 1, r->children,
+                    (r->header.count + 1) * sizeof(NodeHeader*));
+        l->header.count += 1 + r->header.count;
+        RemoveSeparator(parent, left_idx);
+        FreeNode(&r->header);
+      } else if (l->header.count > r->header.count) {
+        // Rotate one from left to right through the parent.
+        std::memmove(r->keys + 1, r->keys,
+                     r->header.count * sizeof(CompositeKey));
+        std::memmove(r->children + 1, r->children,
+                     (r->header.count + 1) * sizeof(NodeHeader*));
+        r->keys[0] = parent->keys[left_idx];
+        r->children[0] = l->children[l->header.count];
+        ++r->header.count;
+        parent->keys[left_idx] = l->keys[l->header.count - 1];
+        --l->header.count;
+      } else {
+        // Rotate one from right to left.
+        l->keys[l->header.count] = parent->keys[left_idx];
+        l->children[l->header.count + 1] = r->children[0];
+        ++l->header.count;
+        parent->keys[left_idx] = r->keys[0];
+        std::memmove(r->keys, r->keys + 1,
+                     (r->header.count - 1) * sizeof(CompositeKey));
+        std::memmove(r->children, r->children + 1,
+                     r->header.count * sizeof(NodeHeader*));
+        --r->header.count;
+      }
+    }
+  }
+
+  void RemoveSeparator(InnerNode* inner, unsigned at) {
+    std::memmove(inner->keys + at, inner->keys + at + 1,
+                 (inner->header.count - at - 1) * sizeof(CompositeKey));
+    std::memmove(inner->children + at + 1, inner->children + at + 2,
+                 (inner->header.count - at - 1) * sizeof(NodeHeader*));
+    --inner->header.count;
+  }
+
+  void ClearRec(NodeHeader* node) {
+    if (!node->is_leaf) {
+      InnerNode* inner = AsInner(node);
+      for (unsigned i = 0; i <= inner->header.count; ++i) {
+        ClearRec(inner->children[i]);
+      }
+    }
+    FreeNode(node);
+  }
+
+  KeyExtractor extractor_;
+  mutable CountingAllocator alloc_;
+  NodeHeader* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace hot
+
+#endif  // HOT_BTREE_BTREE_H_

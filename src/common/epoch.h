@@ -1,0 +1,215 @@
+// Epoch-based memory reclamation (paper §5).
+//
+// ROWEX writers replace nodes copy-on-write and mark the old versions
+// obsolete instead of freeing them, because wait-free readers may still be
+// traversing them.  Obsolete nodes are retired into per-thread limbo lists
+// stamped with the global epoch; a retired node is physically freed once
+// every registered thread has been observed in a later epoch (or quiescent).
+//
+// Usage:
+//   EpochManager epochs;
+//   {
+//     EpochGuard guard(&epochs);        // pins the current epoch
+//     ... read or modify the tree ...
+//     epochs.Retire(ptr, deleter);      // defer free of a replaced node
+//   }                                    // unpins; may trigger collection
+//
+// The design follows the classic three-epoch scheme (Fraser; also used by
+// Masstree and the Bw-tree): collection only needs e_global to have advanced
+// twice past the retire epoch.
+
+#ifndef HOT_COMMON_EPOCH_H_
+#define HOT_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace hot {
+
+class EpochManager {
+ public:
+  static constexpr uint64_t kIdle = ~0ULL;
+  static constexpr size_t kMaxThreads = 256;
+
+  EpochManager() {
+    for (auto& slot : slots_) {
+      slot.epoch.store(kIdle, std::memory_order_relaxed);
+      slot.used.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  ~EpochManager() { CollectAll(); }
+
+  // Registers the calling thread (idempotent) and returns its slot index.
+  // Identity is checked via a process-unique manager id, not the address:
+  // a new manager may be constructed at a previous one's address, which
+  // must not revive stale registrations.
+  size_t RegisterThread() {
+    thread_local ThreadRegistration reg;
+    if (reg.manager != this || reg.manager_id != id_) {
+      size_t idx = AcquireSlot();
+      reg.manager = this;
+      reg.manager_id = id_;
+      reg.slot = idx;
+    }
+    return reg.slot;
+  }
+
+  void Enter() {
+    size_t slot = RegisterThread();
+    uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    slots_[slot].epoch.store(e, std::memory_order_release);
+    // Re-read to close the race where the global epoch advanced between the
+    // load and the store; one retry suffices because we are now visible.
+    uint64_t e2 = global_epoch_.load(std::memory_order_acquire);
+    if (e2 != e) slots_[slot].epoch.store(e2, std::memory_order_release);
+  }
+
+  void Leave() {
+    size_t slot = RegisterThread();
+    slots_[slot].epoch.store(kIdle, std::memory_order_release);
+    MaybeCollect(slot);
+  }
+
+  // Defers destruction of `ptr` until no thread can still observe it.
+  void Retire(void* ptr, void (*deleter)(void*)) {
+    size_t slot = RegisterThread();
+    auto& local = limbo_[slot];
+    local.items.push_back(
+        {ptr, deleter, global_epoch_.load(std::memory_order_acquire)});
+    if (local.items.size() >= kCollectThreshold) {
+      AdvanceEpoch();
+    }
+  }
+
+  // Frees every retired object whose epoch is at least two epochs old.
+  // Called automatically from Leave(); exposed for tests.
+  void Collect(size_t slot) {
+    uint64_t min_active = MinActiveEpoch();
+    auto& local = limbo_[slot];
+    size_t kept = 0;
+    for (size_t i = 0; i < local.items.size(); ++i) {
+      const auto& item = local.items[i];
+      if (item.epoch + 2 <= min_active || min_active == kIdle) {
+        item.deleter(item.ptr);
+      } else {
+        local.items[kept++] = item;
+      }
+    }
+    local.items.resize(kept);
+  }
+
+  // Frees everything unconditionally.  Only safe when no thread is inside an
+  // epoch (e.g. destruction, single-threaded tests).
+  void CollectAll() {
+    for (size_t s = 0; s < kMaxThreads; ++s) {
+      for (const auto& item : limbo_[s].items) item.deleter(item.ptr);
+      limbo_[s].items.clear();
+    }
+  }
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+  size_t RetiredCount() const {
+    size_t n = 0;
+    for (size_t s = 0; s < kMaxThreads; ++s) n += limbo_[s].items.size();
+    return n;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> epoch;
+    std::atomic<bool> used;
+    char padding[48];  // avoid false sharing between per-thread slots
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  struct LimboList {
+    std::vector<Retired> items;
+    char padding[24];
+  };
+
+  struct ThreadRegistration {
+    EpochManager* manager = nullptr;
+    uint64_t manager_id = 0;
+    size_t slot = 0;
+  };
+
+  static uint64_t NextManagerId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static constexpr size_t kCollectThreshold = 128;
+
+  size_t AcquireSlot() {
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (!slots_[i].used.load(std::memory_order_relaxed) &&
+          slots_[i].used.compare_exchange_strong(expected, true)) {
+        return i;
+      }
+    }
+    // More threads than slots: fall back to slot 0 (correct but contended).
+    return 0;
+  }
+
+  void AdvanceEpoch() {
+    global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  uint64_t MinActiveEpoch() const {
+    uint64_t min = kIdle;
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      if (!slots_[i].used.load(std::memory_order_relaxed)) continue;
+      uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
+      if (e != kIdle && e < min) min = e;
+    }
+    if (min == kIdle) {
+      // No thread is pinned: everything up to the current epoch is safe.
+      return global_epoch_.load(std::memory_order_acquire) + 2;
+    }
+    return min;
+  }
+
+  void MaybeCollect(size_t slot) {
+    if (limbo_[slot].items.size() >= kCollectThreshold / 2) {
+      AdvanceEpoch();
+      Collect(slot);
+    }
+  }
+
+  const uint64_t id_ = NextManagerId();
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxThreads];
+  LimboList limbo_[kMaxThreads];
+};
+
+// RAII epoch pin for readers and writers.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager* manager) : manager_(manager) {
+    manager_->Enter();
+  }
+  ~EpochGuard() { manager_->Leave(); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* manager_;
+};
+
+}  // namespace hot
+
+#endif  // HOT_COMMON_EPOCH_H_

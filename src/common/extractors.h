@@ -1,0 +1,75 @@
+// Key extractors: how an index turns a stored 63-bit tuple identifier back
+// into the indexed key bytes.
+//
+// Like the paper (§6.1), every index stores 64-bit tuple identifiers.  The
+// final step of a lookup loads the key behind the candidate tid and compares
+// it with the search key (Listing 2, line 7) — a Patricia trie may otherwise
+// return false positives.  A KeyExtractor encapsulates that load:
+//
+//   concept KeyExtractor {
+//     KeyRef operator()(uint64_t value, KeyScratch& scratch) const;
+//   }
+//
+// `value` is the tid *payload* (MSB already stripped).  The returned KeyRef
+// must stay valid while `scratch` lives (the extractor may materialize the
+// key into the scratch buffer, as the integer extractor does) or reference
+// storage owned elsewhere (as the string-table extractor does).
+
+#ifndef HOT_COMMON_EXTRACTORS_H_
+#define HOT_COMMON_EXTRACTORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/key.h"
+
+namespace hot {
+
+// Scratch space an extractor may use to materialize a key.
+struct KeyScratch {
+  uint8_t bytes[32];
+};
+
+// For integer data sets the paper embeds keys up to 8 bytes directly in the
+// tuple identifier (§6.1); this extractor re-encodes the embedded 63-bit
+// integer as a big-endian byte string.
+struct U64KeyExtractor {
+  KeyRef operator()(uint64_t value, KeyScratch& scratch) const {
+    EncodeU64(value, scratch.bytes);
+    return KeyRef(scratch.bytes, 8);
+  }
+};
+
+// For string data sets the tid indexes a table of records.  The returned
+// view includes one 0x00 terminator byte beyond the string contents —
+// std::string guarantees data()[size()] == '\0', so the view is valid — and
+// thereby satisfies the prefix-free requirement (no string with embedded
+// NULs may be indexed).
+class StringTableExtractor {
+ public:
+  StringTableExtractor() : table_(nullptr) {}
+  explicit StringTableExtractor(const std::vector<std::string>* table)
+      : table_(table) {}
+
+  KeyRef operator()(uint64_t value, KeyScratch&) const {
+    const std::string& s = (*table_)[value];
+    return KeyRef(reinterpret_cast<const uint8_t*>(s.data()), s.size() + 1);
+  }
+
+  const std::vector<std::string>* table() const { return table_; }
+
+ private:
+  const std::vector<std::string>* table_;
+};
+
+// Returns a terminated view of `s` (includes the trailing NUL).  Search keys
+// built from std::string should use this so they compare equal to keys
+// produced by StringTableExtractor.
+inline KeyRef TerminatedView(const std::string& s) {
+  return KeyRef(reinterpret_cast<const uint8_t*>(s.data()), s.size() + 1);
+}
+
+}  // namespace hot
+
+#endif  // HOT_COMMON_EXTRACTORS_H_

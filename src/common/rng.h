@@ -1,0 +1,102 @@
+// Pseudo-random generators for the YCSB-style micro-benchmark (paper §6.1):
+// a fast xorshift/splitmix generator for uniform draws and a Zipfian
+// generator matching the YCSB reference implementation (theta = 0.99,
+// Gray et al. rejection-free formula), plus the "latest" distribution used
+// by workload D.
+
+#ifndef HOT_COMMON_RNG_H_
+#define HOT_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace hot {
+
+// splitmix64: tiny, high-quality, seedable; used both directly and to seed
+// the benchmark's key shuffles.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).  Uses the widening-multiply trick (Lemire).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian generator over [0, n) with YCSB's default skew (theta = 0.99).
+// Implements the classic Gray et al. "Quickly generating billion-record
+// synthetic databases" algorithm, as used by the YCSB core workloads.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  SplitMix64 rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+// "Latest" distribution (YCSB workload D): skewed towards the most recently
+// inserted record.  Draws a Zipfian rank and subtracts it from the current
+// maximum.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t n, uint64_t seed = 1) : zipf_(n, 0.99, seed), n_(n) {}
+
+  // `current_max` is the number of records inserted so far.
+  uint64_t Next(uint64_t current_max) {
+    if (current_max == 0) return 0;
+    uint64_t rank = zipf_.Next() % current_max;
+    return current_max - 1 - rank;
+  }
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t n_;
+};
+
+}  // namespace hot
+
+#endif  // HOT_COMMON_RNG_H_

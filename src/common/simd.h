@@ -1,0 +1,67 @@
+// Thin SIMD portability layer: prefetching and the small data-parallel
+// compare primitives shared by the index structures (HOT node search uses
+// its own layout-specific kernels in src/hot/node_search.h; ART's Node16
+// uses FindByteMatches16 below).
+
+#ifndef HOT_COMMON_SIMD_H_
+#define HOT_COMMON_SIMD_H_
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define HOT_HAVE_AVX2 1
+#else
+#define HOT_HAVE_AVX2 0
+#endif
+
+namespace hot {
+
+// Prefetches the first `lines` cache lines starting at `addr` (paper §4.5:
+// HOT prefetches the first 4 cache lines of a node while the tagged pointer
+// is being decoded).
+inline void PrefetchLines(const void* addr, unsigned lines) {
+  const char* p = static_cast<const char*>(addr);
+  for (unsigned i = 0; i < lines; ++i) {
+    __builtin_prefetch(p + i * 64, 0 /*read*/, 3 /*high locality*/);
+  }
+}
+
+// Returns a bitmask of positions i in [0, 16) with bytes[i] == needle.
+inline uint32_t FindByteMatches16(const uint8_t bytes[16], uint8_t needle) {
+#if HOT_HAVE_AVX2
+  __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes));
+  __m128i n = _mm_set1_epi8(static_cast<char>(needle));
+  return static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, n)));
+#else
+  uint32_t mask = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (bytes[i] == needle) mask |= 1u << i;
+  }
+  return mask;
+#endif
+}
+
+// Returns a bitmask of positions i in [0, 16) with bytes[i] < needle
+// (unsigned comparison); used for ordered search in ART Node16.
+inline uint32_t FindByteLess16(const uint8_t bytes[16], uint8_t needle) {
+#if HOT_HAVE_AVX2
+  // Flip sign bits to emulate unsigned compare with signed cmpgt.
+  __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  __m128i v = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes)), bias);
+  __m128i n = _mm_xor_si128(_mm_set1_epi8(static_cast<char>(needle)), bias);
+  return static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpgt_epi8(n, v)));
+#else
+  uint32_t mask = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (bytes[i] < needle) mask |= 1u << i;
+  }
+  return mask;
+#endif
+}
+
+}  // namespace hot
+
+#endif  // HOT_COMMON_SIMD_H_

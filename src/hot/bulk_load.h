@@ -1,0 +1,222 @@
+// Bulk loading with height-optimized packing (paper §3.1).
+//
+// For static data, Kovács & Kiss solved optimal height/cardinality
+// partitioning of a tree into bounded-fanout pieces; the paper's dynamic
+// algorithm approximates that incrementally.  This builder constructs the
+// partition directly from sorted input, bottom-up:
+//
+//   * a range of <= 32 keys becomes one compound node (height 1),
+//   * a larger range is partitioned by repeatedly severing the root BiNode
+//     of its largest remaining piece (never more than k pieces) until every
+//     piece fits the next level's capacity 32^(h-1); pieces are built
+//     recursively and joined under one compound node.
+//
+// The result is a valid HOT (it passes the full validator) with height
+// ceil(log_k n) — plus at most one extra level when the key distribution's
+// Patricia shape cannot be packed perfectly near a capacity boundary — for
+// any key distribution, including the adversarial monotone orders that
+// degrade incremental insertion (DESIGN.md "Deviations"), and nodes at
+// maximum fill, which also minimizes memory.
+//
+// Complexity: O(n log n) mismatch computations, O(n) node constructions.
+
+#ifndef HOT_HOT_BULK_LOAD_H_
+#define HOT_HOT_BULK_LOAD_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/key.h"
+#include "hot/logical_node.h"
+#include "hot/node.h"
+#include "hot/node_pool.h"
+
+namespace hot {
+namespace detail {
+
+// One packed subtree piece during bulk construction.
+struct BulkRange {
+  size_t lo;       // first key index (inclusive)
+  size_t hi;       // last key index (exclusive)
+  uint64_t entry;  // built entry (tid or node), filled bottom-up
+};
+
+template <typename KeyExtractor>
+class BulkBuilder {
+ public:
+  BulkBuilder(const KeyExtractor& extractor, const uint64_t* values, size_t n,
+              NodePool& alloc)
+      : extractor_(extractor), values_(values), n_(n), alloc_(alloc) {}
+
+  // Returns the root entry for values_[0..n), which must be sorted by key
+  // and duplicate-free.
+  uint64_t Build() {
+    if (n_ == 0) return HotEntry::kEmpty;
+    return BuildRange(0, n_);
+  }
+
+ private:
+  KeyRef KeyAt(size_t i, KeyScratch& scratch) const {
+    return extractor_(values_[i], scratch);
+  }
+
+  // First bit at which keys i and j differ.
+  unsigned Mismatch(size_t i, size_t j) const {
+    KeyScratch si, sj;
+    size_t p = FirstMismatchBit(KeyAt(i, si), KeyAt(j, sj));
+    assert(p != kNoMismatch && "bulk input contains duplicate keys");
+    return static_cast<unsigned>(p);
+  }
+
+  // First index in [lo, hi) whose key has bit `pos` set.  The range is a
+  // Patricia subtree sharing its prefix above `pos`, so the bit is
+  // monotone over the sorted range.
+  size_t Boundary(size_t lo, size_t hi, unsigned pos) const {
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      KeyScratch scratch;
+      if (KeyAt(mid, scratch).Bit(pos) == 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  uint64_t BuildRange(size_t lo, size_t hi) {
+    size_t n = hi - lo;
+    if (n == 1) return HotEntry::MakeTid(values_[lo]);
+    if (n <= kMaxFanout) {
+      std::vector<BulkRange> leaves;
+      leaves.reserve(n);
+      for (size_t i = lo; i < hi; ++i) {
+        leaves.push_back({i, i + 1, HotEntry::MakeTid(values_[i])});
+      }
+      return BuildNode(leaves, /*height=*/1);
+    }
+
+    // Capacity of the next level: the smallest power of k whose square
+    // covers n... i.e. 32^(h-1) for minimal h with 32^h >= n.
+    size_t cap = kMaxFanout;
+    while (cap * kMaxFanout < n) cap *= kMaxFanout;
+
+    // Partition by severing root BiNodes, largest piece first, at most k
+    // pieces.  Pieces stay sorted and adjacent.  Splitting continues past
+    // the point where every piece fits `cap`: using the full fanout budget
+    // shrinks the children, which softens the near-boundary cases where
+    // perfect packing at `cap` is impossible (pieces below `cap/k` are
+    // never split — they are already single-node material).
+    std::vector<BulkRange> pieces = {{lo, hi, 0}};
+    size_t floor_size = std::max<size_t>(cap / kMaxFanout, kMaxFanout);
+    for (;;) {
+      size_t largest = pieces.size();
+      size_t largest_size = floor_size;
+      for (size_t i = 0; i < pieces.size(); ++i) {
+        size_t sz = pieces[i].hi - pieces[i].lo;
+        if (sz > largest_size) {
+          largest = i;
+          largest_size = sz;
+        }
+      }
+      if (largest == pieces.size() || pieces.size() >= kMaxFanout) break;
+      BulkRange piece = pieces[largest];
+      unsigned bit = Mismatch(piece.lo, piece.hi - 1);
+      size_t m = Boundary(piece.lo, piece.hi, bit);
+      assert(m > piece.lo && m < piece.hi);
+      pieces[largest] = {piece.lo, m, 0};
+      pieces.insert(pieces.begin() + static_cast<long>(largest) + 1,
+                    {m, piece.hi, 0});
+    }
+
+    unsigned height = 1;
+    for (auto& piece : pieces) {
+      piece.entry = BuildRange(piece.lo, piece.hi);
+      height = std::max(height, 1 + EntryHeight(piece.entry));
+    }
+    return BuildNode(pieces, height);
+  }
+
+  // Builds one compound node over the given adjacent pieces: the local
+  // Patricia trie over piece boundaries, encoded via CollectBits/
+  // AssignSparse recursions.
+  uint64_t BuildNode(const std::vector<BulkRange>& pieces, unsigned height) {
+    LogicalNode ln;
+    ln.height = height;
+    ln.count = static_cast<unsigned>(pieces.size());
+    ln.num_bits = 0;
+    CollectBits(pieces, 0, pieces.size(), &ln);
+    // Sort + dedup the discriminative bits (positions can repeat across
+    // subtrees).
+    std::sort(ln.bits, ln.bits + ln.num_bits);
+    ln.num_bits = static_cast<unsigned>(
+        std::unique(ln.bits, ln.bits + ln.num_bits) - ln.bits);
+    assert(ln.num_bits >= 1 && ln.num_bits <= kMaxDiscBits);
+    AssignSparse(pieces, 0, pieces.size(), 0, &ln);
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      ln.entries[i] = pieces[i].entry;
+    }
+    return Encode(ln, alloc_).ToEntry();
+  }
+
+  // The BiNode bit severing pieces [from, to): the first mismatch between
+  // the smallest key of the first piece and the largest key of the last.
+  unsigned RootBitOf(const std::vector<BulkRange>& pieces, size_t from,
+                     size_t to) const {
+    return Mismatch(pieces[from].lo, pieces[to - 1].hi - 1);
+  }
+
+  // First piece in [from, to) on the 1-side of `pos`.
+  size_t PieceBoundary(const std::vector<BulkRange>& pieces, size_t from,
+                       size_t to, unsigned pos) const {
+    while (from < to) {
+      size_t mid = from + (to - from) / 2;
+      KeyScratch scratch;
+      if (KeyAt(pieces[mid].lo, scratch).Bit(pos) == 0) {
+        from = mid + 1;
+      } else {
+        to = mid;
+      }
+    }
+    return from;
+  }
+
+  void CollectBits(const std::vector<BulkRange>& pieces, size_t from,
+                   size_t to, LogicalNode* ln) const {
+    if (to - from <= 1) return;
+    unsigned bit = RootBitOf(pieces, from, to);
+    assert(ln->num_bits < kMaxFanout);
+    ln->bits[ln->num_bits++] = static_cast<uint16_t>(bit);
+    size_t m = PieceBoundary(pieces, from, to, bit);
+    CollectBits(pieces, from, m, ln);
+    CollectBits(pieces, m, to, ln);
+  }
+
+  void AssignSparse(const std::vector<BulkRange>& pieces, size_t from,
+                    size_t to, uint32_t prefix, LogicalNode* ln) const {
+    if (to - from == 1) {
+      ln->sparse[from] = prefix;
+      return;
+    }
+    unsigned bit = RootBitOf(pieces, from, to);
+    bool exists;
+    unsigned rank = BitRank(*ln, bit, &exists);
+    assert(exists);
+    size_t m = PieceBoundary(pieces, from, to, bit);
+    AssignSparse(pieces, from, m, prefix, ln);
+    AssignSparse(pieces, m, to, prefix | LogicalNode::RankBit(rank), ln);
+  }
+
+  const KeyExtractor& extractor_;
+  const uint64_t* values_;
+  size_t n_;
+  NodePool& alloc_;
+};
+
+}  // namespace detail
+}  // namespace hot
+
+#endif  // HOT_HOT_BULK_LOAD_H_

@@ -1,0 +1,47 @@
+#include "hot/node_search.h"
+
+namespace hot {
+
+unsigned DecodeBitPositions(NodeRef node, uint16_t* out) {
+  unsigned n = 0;
+  if (node.mask_slots() == 0) {
+    unsigned base = *node.single_offset() * 8u;
+    uint64_t mask = *node.single_mask();
+    // Mask bit 63 corresponds to the first bit of the window (smallest key
+    // bit position); walk from most significant to least significant so the
+    // output is ascending.
+    while (mask != 0) {
+      unsigned msb = BitScanReverse64(mask);
+      out[n++] = static_cast<uint16_t>(base + (63 - msb));
+      mask &= ~(1ULL << msb);
+    }
+    return n;
+  }
+  const uint8_t* offs = node.byte_offsets();
+  const uint64_t* words = node.mask_words();
+  unsigned num_words = node.num_mask_words();
+  for (unsigned w = 0; w < num_words; ++w) {
+    uint64_t mask = words[w];
+    while (mask != 0) {
+      unsigned msb = BitScanReverse64(mask);
+      unsigned lane = 63 - msb;       // 0 = first byte of this group
+      unsigned slot = w * 8 + lane / 8;
+      unsigned bit_in_byte = lane % 8;
+      out[n++] = static_cast<uint16_t>(offs[slot] * 8u + bit_in_byte);
+      mask &= ~(1ULL << msb);
+    }
+  }
+  return n;
+}
+
+uint32_t ExtractDensePartialKeyScalar(NodeRef node, KeyRef key) {
+  uint16_t bits[kMaxDiscBits];
+  unsigned n = DecodeBitPositions(node, bits);
+  uint32_t dense = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    dense = (dense << 1) | key.Bit(bits[i]);
+  }
+  return dense;
+}
+
+}  // namespace hot

@@ -1,0 +1,199 @@
+// Intra-node search (paper §4.3, Listing 2).
+//
+// A lookup inside a node has two steps:
+//   (1) extract the search key's *dense* partial key — the key's bits at the
+//       node's discriminative positions — using PEXT over the node's mask
+//       representation, and
+//   (2) find the best matching entry among the node's *sparse* partial keys
+//       with one data-parallel comparison: entry i complies iff
+//       (sparse[i] & dense) == sparse[i], and the result is the complying
+//       entry with the highest index (bit-scan-reverse over the comply
+//       bitmask intersected with the used-entries mask).
+//
+// Partial keys are integers whose more-significant bits correspond to
+// smaller (more significant) key bit positions, so entry order == key order
+// == numeric partial-key order.
+//
+// Every AVX2 kernel has a scalar twin used for differential tests and the
+// SIMD ablation bench.
+
+#ifndef HOT_HOT_NODE_SEARCH_H_
+#define HOT_HOT_NODE_SEARCH_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/key.h"
+#include "common/simd.h"
+#include "hot/node.h"
+
+namespace hot {
+
+// ---------------------------------------------------------------------------
+// Dense partial-key extraction
+// ---------------------------------------------------------------------------
+
+// Single-mask extraction: one big-endian 8-byte load at the stored byte
+// offset, one PEXT (Listing 2, extractSingleMask).
+inline uint32_t ExtractSingleMask(NodeRef node, KeyRef key) {
+  unsigned off = *node.single_offset();
+  uint64_t word;
+  if (off + 8 <= key.size()) {
+    word = LoadBigEndian64(key.data() + off);
+  } else if (key.size() >= 8 && off < key.size()) {
+    // Window overhangs the key's end (ubiquitous for 8-byte integer keys
+    // whenever off > 0): load the key's last 8 bytes and shift the window
+    // into place — the overhang reads as 0x00 padding.  off < size bounds
+    // the shift below 64.
+    word = LoadBigEndian64(key.data() + key.size() - 8)
+           << (8 * (off - (key.size() - 8)));
+  } else if (off >= key.size()) {
+    word = 0;  // window entirely past the key: all padding
+  } else {
+    // Short key: gather what exists, zero-pad the rest.
+    uint8_t buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    if (off < key.size()) {
+      std::memcpy(buf, key.data() + off, key.size() - off);
+    }
+    word = LoadBigEndian64(buf);
+  }
+  return static_cast<uint32_t>(Pext64(word, *node.single_mask()));
+}
+
+// Multi-mask extraction: gather one byte per used offset slot, PEXT each
+// 8-slot group with its pre-combined 64-bit mask word, and concatenate
+// (Listing 2, extractMultiMask8/16/32).  Offset slots are sorted ascending,
+// so group 0 holds the most significant extracted bits.
+inline uint32_t ExtractMultiMask(NodeRef node, KeyRef key) {
+  const uint8_t* offs = node.byte_offsets();
+  const uint64_t* mask_words = node.mask_words();
+  unsigned words = node.num_mask_words();
+  uint32_t result = 0;
+  for (unsigned w = 0; w < words; ++w) {
+    uint64_t gathered = 0;
+    const uint8_t* group = offs + w * 8;
+    for (unsigned j = 0; j < 8; ++j) {
+      gathered = (gathered << 8) | key.ByteOrZero(group[j]);
+    }
+    uint64_t mask = mask_words[w];
+    result = (result << Popcount64(mask)) |
+             static_cast<uint32_t>(Pext64(gathered, mask));
+  }
+  return result;
+}
+
+// Dense partial key of `key` with respect to `node`'s discriminative bits,
+// in the low `node.num_bits()` bits of the result.
+inline uint32_t ExtractDensePartialKey(NodeRef node, KeyRef key) {
+  return node.mask_slots() == 0 ? ExtractSingleMask(node, key)
+                                : ExtractMultiMask(node, key);
+}
+
+// Scalar reference extraction: walks the node's bit positions one by one.
+// Used by tests to validate the PEXT paths and by the ablation bench.
+uint32_t ExtractDensePartialKeyScalar(NodeRef node, KeyRef key);
+
+// Absolute position of the node's smallest discriminative bit — the bit of
+// the node-local root BiNode (bit positions strictly increase downward along
+// any path, so the minimum is the root).  O(1) on the physical masks.
+inline unsigned RootDiscBit(NodeRef node) {
+  if (node.mask_slots() == 0) {
+    uint64_t mask = *node.single_mask();
+    return *node.single_offset() * 8u +
+           static_cast<unsigned>(std::countl_zero(mask));
+  }
+  // Slot offsets ascend, so the first mask word holds the smallest bit.
+  uint64_t word = node.mask_words()[0];
+  unsigned lead = static_cast<unsigned>(std::countl_zero(word));
+  return node.byte_offsets()[lead / 8] * 8u + lead % 8;
+}
+
+// Recovers the node's absolute discriminative bit positions (ascending) from
+// its physical mask representation.  out must hold kMaxDiscBits entries;
+// returns the count.
+unsigned DecodeBitPositions(NodeRef node, uint16_t* out);
+
+// ---------------------------------------------------------------------------
+// Sparse partial-key search
+// ---------------------------------------------------------------------------
+
+// Scalar comply computation: entry i complies iff its sparse bits are a
+// subset of the dense bits.
+inline uint32_t ComplyMaskScalar(NodeRef node, uint32_t dense) {
+  uint32_t mask = 0;
+  unsigned n = node.count();
+  for (unsigned i = 0; i < n; ++i) {
+    uint32_t sparse = node.PartialKeyAt(i);
+    if ((sparse & dense) == sparse) mask |= 1u << i;
+  }
+  return mask;
+}
+
+// Bitmask of entries whose sparse partial key complies with `dense`
+// (AVX2; Listing 2, searchPartialKeys8/16/32).
+inline uint32_t ComplyMask(NodeRef node, uint32_t dense) {
+#if HOT_HAVE_AVX2
+  const uint8_t* pk = node.partial_keys_raw();
+  unsigned vectors =
+      static_cast<unsigned>(PartialKeySectionBytes(node.type(), node.count())) /
+      32;
+  switch (node.partial_key_bytes()) {
+    case 1: {
+      __m256i keys = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pk));
+      __m256i d = _mm256_set1_epi8(static_cast<char>(dense));
+      __m256i comply =
+          _mm256_cmpeq_epi8(_mm256_and_si256(keys, d), keys);
+      return static_cast<uint32_t>(_mm256_movemask_epi8(comply));
+    }
+    case 2: {
+      __m256i d = _mm256_set1_epi16(static_cast<short>(dense));
+      uint32_t mask = 0;
+      for (unsigned v = 0; v < vectors; ++v) {
+        __m256i keys = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(pk + v * 32));
+        __m256i comply = _mm256_cmpeq_epi16(_mm256_and_si256(keys, d), keys);
+        uint32_t lanes = static_cast<uint32_t>(_mm256_movemask_epi8(comply));
+        // movemask_epi8 yields two identical bits per 16-bit lane; compress.
+        mask |= Pext32(lanes, 0xAAAAAAAAu) << (v * 16);
+      }
+      return mask;
+    }
+    default: {
+      __m256i d = _mm256_set1_epi32(static_cast<int>(dense));
+      uint32_t mask = 0;
+      for (unsigned v = 0; v < vectors; ++v) {
+        __m256i keys = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(pk + v * 32));
+        __m256i comply = _mm256_cmpeq_epi32(_mm256_and_si256(keys, d), keys);
+        uint32_t lanes = static_cast<uint32_t>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(comply)));
+        mask |= lanes << (v * 8);
+      }
+      return mask;
+    }
+  }
+#else
+  return ComplyMaskScalar(node, dense);
+#endif
+}
+
+// Index of the best matching entry for `key` (Listing 2,
+// retrieveResultCandidates + bit_scan_reverse).  Entry 0's sparse key is 0
+// and always complies, so a result always exists.
+inline unsigned SearchNode(NodeRef node, KeyRef key) {
+  uint32_t dense = ExtractDensePartialKey(node, key);
+  uint32_t comply = ComplyMask(node, dense) & node.UsedMask();
+  return BitScanReverse32(comply);
+}
+
+// Fully scalar search twin (scalar extract + scalar comply).
+inline unsigned SearchNodeScalar(NodeRef node, KeyRef key) {
+  uint32_t dense = ExtractDensePartialKeyScalar(node, key);
+  uint32_t comply = ComplyMaskScalar(node, dense) & node.UsedMask();
+  return BitScanReverse32(comply);
+}
+
+}  // namespace hot
+
+#endif  // HOT_HOT_NODE_SEARCH_H_

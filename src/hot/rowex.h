@@ -1,0 +1,605 @@
+// ROWEX-synchronized HOT (paper §5).
+//
+// Readers are wait-free: they never lock, never restart, and may finish a
+// lookup on an obsolete (copy-on-write superseded) node; epoch-based
+// reclamation keeps such nodes alive until no reader can observe them.
+//
+// Writers perform the five steps of Fig. 7:
+//   (a) traverse and determine the affected nodes
+//       - normal insert:        covering node + its parent (slot write)
+//       - leaf-node pushdown:   covering node only (slot write inside it)
+//       - overflow:             the pull-up chain up to the first node with
+//                               space (all copy-on-write replaced) + the
+//                               parent of the last (slot write)
+//   (b) lock them bottom-up (a tree-level lock stands in for the root slot)
+//   (c) validate that none is obsolete and that the links/slots the plan
+//       was computed from are unchanged — otherwise unlock and restart
+//   (d) apply the modification: build replacement nodes copy-on-write,
+//       publish with release stores into the parent slot, mark replaced
+//       nodes obsolete and retire them to the epoch manager
+//   (e) unlock top-down.
+//
+// Node contents other than the 64-bit value slots are immutable after
+// publication, so readers only need atomic loads on value slots and on the
+// root.
+
+#ifndef HOT_HOT_ROWEX_H_
+#define HOT_HOT_ROWEX_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+#include "common/epoch.h"
+#include "common/extractors.h"
+#include "hot/fast_insert.h"
+#include "common/key.h"
+#include "hot/logical_node.h"
+#include "hot/node.h"
+#include "hot/node_pool.h"
+#include "hot/node_search.h"
+
+namespace hot {
+
+template <typename KeyExtractor>
+class RowexHotTrie {
+  struct PathLevel {
+    NodeRef node;
+    unsigned idx;
+  };
+
+ public:
+  explicit RowexHotTrie(KeyExtractor extractor = KeyExtractor(),
+                        MemoryCounter* counter = nullptr)
+      : extractor_(extractor), alloc_(counter), root_(HotEntry::kEmpty) {}
+
+  ~RowexHotTrie() {
+    epochs_.CollectAll();
+    FreeSubtree(root_.load(std::memory_order_relaxed));
+  }
+
+  RowexHotTrie(const RowexHotTrie&) = delete;
+  RowexHotTrie& operator=(const RowexHotTrie&) = delete;
+
+  // --- wait-free reads --------------------------------------------------------
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    EpochGuard guard(&epochs_);
+    uint64_t cur = root_.load(std::memory_order_acquire);
+    while (HotEntry::IsNode(cur)) {
+      NodeRef node = NodeRef::FromEntry(cur);
+      node.Prefetch();
+      unsigned idx = SearchNode(node, key);
+      cur = LoadSlot(&node.values()[idx]);
+    }
+    if (HotEntry::IsEmpty(cur)) return std::nullopt;
+    KeyScratch scratch;
+    if (extractor_(HotEntry::TidPayload(cur), scratch) == key) {
+      return HotEntry::TidPayload(cur);
+    }
+    return std::nullopt;
+  }
+
+  // Visits up to `limit` values with key >= start in key order.  Wait-free
+  // with respect to writers; sees some consistent recent state of each
+  // traversed node.
+  template <typename Fn>
+  size_t ScanFrom(KeyRef start, size_t limit, Fn&& fn) const {
+    EpochGuard guard(&epochs_);
+    PathLevel stack[kMaxDepth];
+    unsigned depth = 0;
+    uint64_t cur = root_.load(std::memory_order_acquire);
+    if (HotEntry::IsEmpty(cur)) return 0;
+
+    if (HotEntry::IsTid(cur)) {
+      KeyScratch scratch;
+      if (extractor_(HotEntry::TidPayload(cur), scratch).Compare(start) >= 0 &&
+          limit > 0) {
+        fn(HotEntry::TidPayload(cur));
+        return 1;
+      }
+      return 0;
+    }
+
+    // Blind descent, then reposition via the mismatch bit (same algorithm
+    // as the single-threaded LowerBound).
+    while (HotEntry::IsNode(cur)) {
+      NodeRef node = NodeRef::FromEntry(cur);
+      unsigned idx = SearchNode(node, start);
+      stack[depth++] = {node, idx};
+      cur = LoadSlot(&node.values()[idx]);
+    }
+    KeyScratch scratch;
+    KeyRef cand = extractor_(HotEntry::TidPayload(cur), scratch);
+    size_t p = FirstMismatchBit(start, cand);
+    bool at_entry = false;
+    if (p == kNoMismatch) {
+      at_entry = true;  // exact hit: current stack position is the start
+    } else {
+      unsigned target = depth - 1;
+      while (target > 0 && RootDiscBit(stack[target].node) > p) --target;
+      LogicalNode ln = DecodeShared(stack[target].node);
+      bool exists;
+      unsigned rank = BitRank(ln, static_cast<unsigned>(p), &exists);
+      AffectedRange range = FindAffectedRange(ln, stack[target].idx, rank);
+      depth = target;
+      NodeRef tnode = stack[target].node;
+      if (start.Bit(p) == 0) {
+        stack[depth++] = {tnode, range.first};
+        cur = DescendEdge(stack, &depth, LoadSlot(&tnode.values()[range.first]),
+                          /*leftmost=*/true);
+        at_entry = true;
+      } else {
+        stack[depth++] = {tnode, range.last};
+        cur = DescendEdge(stack, &depth, LoadSlot(&tnode.values()[range.last]),
+                          /*leftmost=*/false);
+        at_entry = false;  // need the successor of this position
+      }
+    }
+
+    size_t seen = 0;
+    if (at_entry && limit > 0) {
+      fn(HotEntry::TidPayload(cur));
+      ++seen;
+    }
+    while (seen < limit) {
+      // Advance to the next leaf.
+      bool advanced = false;
+      while (depth > 0) {
+        PathLevel& top = stack[depth - 1];
+        if (top.idx + 1 < top.node.count()) {
+          ++top.idx;
+          cur = DescendEdge(stack, &depth,
+                            LoadSlot(&top.node.values()[top.idx]),
+                            /*leftmost=*/true);
+          advanced = true;
+          break;
+        }
+        --depth;
+      }
+      if (!advanced) break;
+      fn(HotEntry::TidPayload(cur));
+      ++seen;
+    }
+    return seen;
+  }
+
+  // --- writers ----------------------------------------------------------------
+
+  bool Insert(uint64_t value) {
+    for (;;) {
+      EpochGuard guard(&epochs_);
+      int r = TryInsert(value);
+      if (r >= 0) return r != 0;
+      // validation failed: restart
+    }
+  }
+
+  bool Remove(KeyRef key) {
+    for (;;) {
+      EpochGuard guard(&epochs_);
+      int r = TryRemove(key);
+      if (r >= 0) return r != 0;
+    }
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+  MemoryCounter* counter() const { return alloc_.counter(); }
+  EpochManager* epochs() const { return &epochs_; }
+
+  // Quiescent-only introspection (no concurrent writers).
+  void ForEachLeaf(
+      const std::function<void(unsigned depth, uint64_t value)>& fn) const {
+    LeafRec(root_.load(std::memory_order_acquire), 0, fn);
+  }
+
+ private:
+  static uint64_t LoadSlot(const uint64_t* slot) {
+    // atomic_ref<const T> arrives only in C++26; the slot object is never
+    // actually const.
+    return std::atomic_ref<uint64_t>(*const_cast<uint64_t*>(slot))
+        .load(std::memory_order_acquire);
+  }
+  static void StoreSlot(uint64_t* slot, uint64_t value) {
+    std::atomic_ref<uint64_t>(*slot).store(value, std::memory_order_release);
+  }
+
+  // Decode for read-side use: value slots are loaded atomically.
+  static LogicalNode DecodeShared(NodeRef node) {
+    LogicalNode ln;
+    ln.height = node.height();
+    ln.count = node.count();
+    ln.num_bits = DecodeBitPositions(node, ln.bits);
+    unsigned shift = 32 - ln.num_bits;
+    for (unsigned i = 0; i < ln.count; ++i) {
+      ln.sparse[i] = node.PartialKeyAt(i) << shift;
+      ln.entries[i] = LoadSlot(&node.values()[i]);
+    }
+    return ln;
+  }
+
+  uint64_t DescendEdge(PathLevel* stack, unsigned* depth, uint64_t entry,
+                       bool leftmost) const {
+    while (HotEntry::IsNode(entry)) {
+      NodeRef node = NodeRef::FromEntry(entry);
+      unsigned idx = leftmost ? 0 : node.count() - 1;
+      stack[*depth] = {node, idx};
+      ++*depth;
+      entry = LoadSlot(&node.values()[idx]);
+    }
+    return entry;
+  }
+
+  void Retire(NodeRef node) {
+    // Pack pool + node into a heap context (nodes cannot be freed inline:
+    // readers may still traverse them).
+    auto* ctx = new RetireCtx{&alloc_, node.raw(), node.type()};
+    epochs_.Retire(ctx, [](void* p) {
+      auto* c = static_cast<RetireCtx*>(p);
+      NodeRef n(c->raw, c->type);
+      FreeNode(*c->pool, n);
+      delete c;
+    });
+  }
+
+  struct RetireCtx {
+    NodePool* pool;
+    void* raw;
+    NodeType type;
+  };
+
+  // Returns 1 inserted, 0 duplicate, -1 restart.
+  int TryInsert(uint64_t value) {
+    KeyScratch scratch;
+    KeyRef key = extractor_(value, scratch);
+    if (key.size() > kMaxKeyBytes) {
+      throw std::invalid_argument("RowexHotTrie: keys longer than 256 bytes");
+    }
+    if ((value >> 63) != 0) {
+      throw std::invalid_argument("RowexHotTrie: values must be 63-bit");
+    }
+    uint64_t root = root_.load(std::memory_order_acquire);
+
+    if (!HotEntry::IsNode(root)) {
+      root_lock_.Lock();
+      if (root_.load(std::memory_order_relaxed) != root) {
+        root_lock_.Unlock();
+        return -1;
+      }
+      int result = 1;
+      if (HotEntry::IsEmpty(root)) {
+        root_.store(HotEntry::MakeTid(value), std::memory_order_release);
+      } else {
+        KeyScratch existing_scratch;
+        KeyRef existing =
+            extractor_(HotEntry::TidPayload(root), existing_scratch);
+        size_t p = FirstMismatchBit(key, existing);
+        if (p == kNoMismatch) {
+          result = 0;
+        } else {
+          uint64_t tid = HotEntry::MakeTid(value);
+          LogicalNode two = key.Bit(p) ? MakeTwoEntryNode(p, root, tid, 1)
+                                       : MakeTwoEntryNode(p, tid, root, 1);
+          root_.store(Encode(two, alloc_).ToEntry(),
+                      std::memory_order_release);
+        }
+      }
+      root_lock_.Unlock();
+      if (result == 1) size_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+
+    // (a) traverse.
+    PathLevel path[kMaxDepth];
+    unsigned depth = 0;
+    uint64_t cur = root;
+    while (HotEntry::IsNode(cur)) {
+      NodeRef node = NodeRef::FromEntry(cur);
+      node.Prefetch();
+      unsigned idx = SearchNode(node, key);
+      path[depth++] = {node, idx};
+      cur = LoadSlot(&node.values()[idx]);
+    }
+    KeyScratch existing_scratch;
+    KeyRef existing = extractor_(HotEntry::TidPayload(cur), existing_scratch);
+    size_t p = FirstMismatchBit(key, existing);
+    if (p == kNoMismatch) return 0;
+    unsigned key_bit = key.Bit(p);
+    uint64_t tid = HotEntry::MakeTid(value);
+
+    unsigned target = depth - 1;
+    while (target > 0 && RootDiscBit(path[target].node) > p) --target;
+
+    // Classify: pushdown needs the affected range, which is immutable node
+    // metadata (masks/partial keys), safe to read unlocked.
+    LogicalNode probe = DecodeShared(path[target].node);
+    bool exists;
+    unsigned rank = BitRank(probe, static_cast<unsigned>(p), &exists);
+    AffectedRange range = FindAffectedRange(probe, path[target].idx, rank);
+    bool pushdown = range.first == range.last &&
+                    HotEntry::IsTid(probe.entries[range.first]) &&
+                    probe.height > 1;
+
+    if (pushdown) {
+      NodeRef tnode = path[target].node;
+      tnode.header()->lock.Lock();
+      uint64_t* slot = &tnode.values()[range.first];
+      uint64_t old_leaf = probe.entries[range.first];
+      if (tnode.header()->lock.IsObsolete() || LoadSlot(slot) != old_leaf) {
+        tnode.header()->lock.Unlock();
+        return -1;
+      }
+      LogicalNode two = key_bit ? MakeTwoEntryNode(p, old_leaf, tid, 1)
+                                : MakeTwoEntryNode(p, tid, old_leaf, 1);
+      StoreSlot(slot, Encode(two, alloc_).ToEntry());
+      tnode.header()->lock.Unlock();
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return 1;
+    }
+
+    // Plan the copy-on-write chain: [target .. cow_top] are replaced, the
+    // slot written lives in cow_top's parent (or the root slot).
+    unsigned cow_top = target;
+    for (;;) {
+      if (path[cow_top].node.count() < kMaxFanout) break;  // absorbs here
+      if (cow_top == 0) break;                             // root grows
+      unsigned h = path[cow_top].node.height();
+      unsigned ph = path[cow_top - 1].node.height();
+      if (h + 1 == ph) {
+        --cow_top;  // parent pull-up continues the chain
+        continue;
+      }
+      break;  // intermediate node creation terminates the chain
+    }
+    // NOTE: cow_top found by the same conditions HandleOverflowLocked will
+    // re-derive; they agree because counts/heights are immutable per node.
+
+    // (b) lock bottom-up: target .. cow_top, then the slot holder.
+    bool root_slot = cow_top == 0;
+    for (unsigned lvl = target + 1; lvl-- > cow_top;) {
+      path[lvl].node.header()->lock.Lock();
+    }
+    if (root_slot) {
+      root_lock_.Lock();
+    } else {
+      path[cow_top - 1].node.header()->lock.Lock();
+    }
+
+    auto unlock_all = [&] {
+      if (root_slot) {
+        root_lock_.Unlock();
+      } else {
+        path[cow_top - 1].node.header()->lock.Unlock();
+      }
+      for (unsigned lvl = cow_top; lvl <= target; ++lvl) {
+        path[lvl].node.header()->lock.Unlock();
+      }
+    };
+
+    // (c) validate.
+    bool ok = true;
+    for (unsigned lvl = cow_top; lvl <= target && ok; ++lvl) {
+      ok = !path[lvl].node.header()->lock.IsObsolete();
+    }
+    if (ok && !root_slot) {
+      ok = !path[cow_top - 1].node.header()->lock.IsObsolete();
+    }
+    // Links: slot-holder -> cow_top -> ... -> target.
+    if (ok && root_slot) {
+      ok = root_.load(std::memory_order_acquire) == path[0].node.ToEntry();
+    }
+    if (ok && !root_slot) {
+      ok = LoadSlot(&path[cow_top - 1].node.values()[path[cow_top - 1].idx]) ==
+           path[cow_top].node.ToEntry();
+    }
+    for (unsigned lvl = cow_top; lvl < target && ok; ++lvl) {
+      ok = LoadSlot(&path[lvl].node.values()[path[lvl].idx]) ==
+           path[lvl + 1].node.ToEntry();
+    }
+    if (!ok) {
+      unlock_all();
+      return -1;
+    }
+
+    // (d) modify.  Common case first: the §4.4 physical splice (no layout
+    // change, no overflow) — the node is locked, so its value slots are
+    // stable and plain reads inside TryPhysicalInsert are safe.
+    if (cow_top == target && path[target].node.count() < kMaxFanout) {
+      PhysicalInsertInfo info{rank, exists, range.first, range.last};
+      uint64_t fast = TryPhysicalInsert(path[target].node, info,
+                                        static_cast<unsigned>(p), key_bit,
+                                        tid, alloc_);
+      if (fast != HotEntry::kEmpty) {
+        path[target].node.header()->lock.MarkObsolete();
+        Retire(path[target].node);
+        if (root_slot) {
+          root_.store(fast, std::memory_order_release);
+        } else {
+          StoreSlot(&path[cow_top - 1].node.values()[path[cow_top - 1].idx],
+                    fast);
+        }
+        unlock_all();
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return 1;
+      }
+    }
+
+    // General path: logical insert, then resolve overflow along the locked
+    // chain.  Publication is a single release store into the slot holder.
+    LogicalNode ln = Decode(path[target].node);
+    LogicalInsert(ln, path[target].idx, static_cast<unsigned>(p), key_bit,
+                  tid);
+    unsigned level = target;
+    uint64_t publish;
+    for (;;) {
+      if (ln.count <= kMaxFanout) {
+        publish = Encode(ln, alloc_).ToEntry();
+        break;
+      }
+      SplitResult split = Split(ln);
+      uint64_t left_entry = EncodeHalf(split.left);
+      uint64_t right_entry = EncodeHalf(split.right);
+      unsigned h =
+          1 + std::max(EntryHeight(left_entry), EntryHeight(right_entry));
+      if (level == 0) {
+        LogicalNode new_root =
+            MakeTwoEntryNode(split.bit_pos, left_entry, right_entry, h);
+        publish = Encode(new_root, alloc_).ToEntry();
+        break;
+      }
+      if (ln.height + 1 == path[level - 1].node.height()) {
+        LogicalNode pl = Decode(path[level - 1].node);
+        ReplaceEntryWithTwo(pl, path[level - 1].idx, split.bit_pos, left_entry,
+                            right_entry);
+        ln = pl;
+        --level;
+        continue;
+      }
+      LogicalNode intermediate =
+          MakeTwoEntryNode(split.bit_pos, left_entry, right_entry, h);
+      publish = Encode(intermediate, alloc_).ToEntry();
+      break;
+    }
+    assert(level == cow_top);
+
+    // Mark every replaced node obsolete and retire it, then publish.
+    for (unsigned lvl = cow_top; lvl <= target; ++lvl) {
+      path[lvl].node.header()->lock.MarkObsolete();
+      Retire(path[lvl].node);
+    }
+    if (root_slot) {
+      root_.store(publish, std::memory_order_release);
+    } else {
+      StoreSlot(&path[cow_top - 1].node.values()[path[cow_top - 1].idx],
+                publish);
+    }
+
+    // (e) unlock (top-down order; obsolete nodes' locks are dead anyway).
+    unlock_all();
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+
+  // Returns 1 removed, 0 not found, -1 restart.
+  int TryRemove(KeyRef key) {
+    uint64_t root = root_.load(std::memory_order_acquire);
+    if (HotEntry::IsEmpty(root)) return 0;
+    if (HotEntry::IsTid(root)) {
+      KeyScratch scratch;
+      if (!(extractor_(HotEntry::TidPayload(root), scratch) == key)) return 0;
+      root_lock_.Lock();
+      bool same = root_.load(std::memory_order_relaxed) == root;
+      if (same) root_.store(HotEntry::kEmpty, std::memory_order_release);
+      root_lock_.Unlock();
+      if (!same) return -1;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return 1;
+    }
+
+    PathLevel path[kMaxDepth];
+    unsigned depth = 0;
+    uint64_t cur = root;
+    while (HotEntry::IsNode(cur)) {
+      NodeRef node = NodeRef::FromEntry(cur);
+      unsigned idx = SearchNode(node, key);
+      path[depth++] = {node, idx};
+      cur = LoadSlot(&node.values()[idx]);
+    }
+    KeyScratch scratch;
+    if (HotEntry::IsEmpty(cur) ||
+        !(extractor_(HotEntry::TidPayload(cur), scratch) == key)) {
+      return 0;
+    }
+
+    unsigned leaf_level = depth - 1;
+    bool root_slot = leaf_level == 0;
+    path[leaf_level].node.header()->lock.Lock();
+    if (root_slot) {
+      root_lock_.Lock();
+    } else {
+      path[leaf_level - 1].node.header()->lock.Lock();
+    }
+    auto unlock_all = [&] {
+      if (root_slot) {
+        root_lock_.Unlock();
+      } else {
+        path[leaf_level - 1].node.header()->lock.Unlock();
+      }
+      path[leaf_level].node.header()->lock.Unlock();
+    };
+
+    bool ok = !path[leaf_level].node.header()->lock.IsObsolete();
+    if (ok && !root_slot) {
+      ok = !path[leaf_level - 1].node.header()->lock.IsObsolete() &&
+           LoadSlot(&path[leaf_level - 1]
+                         .node.values()[path[leaf_level - 1].idx]) ==
+               path[leaf_level].node.ToEntry();
+    }
+    if (ok && root_slot) {
+      ok = root_.load(std::memory_order_acquire) == path[0].node.ToEntry();
+    }
+    if (ok) {
+      ok = LoadSlot(&path[leaf_level].node.values()[path[leaf_level].idx]) ==
+           cur;
+    }
+    if (!ok) {
+      unlock_all();
+      return -1;
+    }
+
+    LogicalNode ln = Decode(path[leaf_level].node);
+    RemoveEntry(ln, path[leaf_level].idx);
+    uint64_t replacement =
+        ln.count == 1 ? ln.entries[0] : Encode(ln, alloc_).ToEntry();
+    path[leaf_level].node.header()->lock.MarkObsolete();
+    Retire(path[leaf_level].node);
+    if (root_slot) {
+      root_.store(replacement, std::memory_order_release);
+    } else {
+      StoreSlot(&path[leaf_level - 1].node.values()[path[leaf_level - 1].idx],
+                replacement);
+    }
+    unlock_all();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return 1;
+  }
+
+  uint64_t EncodeHalf(LogicalNode& half) {
+    return half.count == 1 ? half.entries[0] : Encode(half, alloc_).ToEntry();
+  }
+
+  void LeafRec(uint64_t entry, unsigned depth,
+               const std::function<void(unsigned, uint64_t)>& fn) const {
+    if (HotEntry::IsEmpty(entry)) return;
+    if (HotEntry::IsTid(entry)) {
+      fn(depth, HotEntry::TidPayload(entry));
+      return;
+    }
+    NodeRef node = NodeRef::FromEntry(entry);
+    for (unsigned i = 0; i < node.count(); ++i) {
+      LeafRec(node.values()[i], depth + 1, fn);
+    }
+  }
+
+  void FreeSubtree(uint64_t entry) {
+    if (!HotEntry::IsNode(entry)) return;
+    NodeRef node = NodeRef::FromEntry(entry);
+    for (unsigned i = 0; i < node.count(); ++i) FreeSubtree(node.values()[i]);
+    FreeNode(alloc_, node);
+  }
+
+  KeyExtractor extractor_;
+  mutable NodePool alloc_;
+  mutable EpochManager epochs_;
+  RowexLockWord root_lock_;
+  std::atomic<uint64_t> root_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace hot
+
+#endif  // HOT_HOT_ROWEX_H_

@@ -1,0 +1,78 @@
+// Structure statistics: leaf-depth distributions (paper §6.5, Fig. 11) and
+// a node-layout census (used by the node-engineering ablation bench).
+
+#ifndef HOT_HOT_STATS_H_
+#define HOT_HOT_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hot/node.h"
+
+namespace hot {
+
+// Distribution of leaf depths, where depth counts the compound nodes on the
+// path from the root to the value (a value stored directly in the root slot
+// has depth 0; in practice depths start at 1).
+struct DepthStats {
+  std::vector<uint64_t> histogram;  // histogram[d] = #values at depth d
+  uint64_t total = 0;
+  uint64_t sum = 0;
+  unsigned max = 0;
+
+  void Add(unsigned depth) {
+    if (depth >= histogram.size()) histogram.resize(depth + 1, 0);
+    ++histogram[depth];
+    ++total;
+    sum += depth;
+    if (depth > max) max = depth;
+  }
+
+  double Mean() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(total);
+  }
+};
+
+// Computes the Fig. 11 depth metric for any index exposing
+// ForEachLeaf(fn(depth, value)).
+template <typename Index>
+DepthStats ComputeDepthStats(const Index& index) {
+  DepthStats stats;
+  index.ForEachLeaf([&](unsigned depth, uint64_t) { stats.Add(depth); });
+  return stats;
+}
+
+// Census of physical node layouts.
+struct NodeCensus {
+  std::array<uint64_t, kNumNodeTypes> count_by_type{};
+  std::array<uint64_t, kNumNodeTypes> bytes_by_type{};
+  uint64_t nodes = 0;
+  uint64_t total_bytes = 0;
+  uint64_t total_entries = 0;
+
+  double AverageFanout() const {
+    return nodes == 0 ? 0.0
+                      : static_cast<double>(total_entries) /
+                            static_cast<double>(nodes);
+  }
+};
+
+template <typename Trie>
+NodeCensus ComputeNodeCensus(const Trie& trie) {
+  NodeCensus census;
+  trie.ForEachNode([&](NodeRef node, unsigned) {
+    auto t = static_cast<size_t>(node.type());
+    ++census.count_by_type[t];
+    census.bytes_by_type[t] += node.SizeBytes();
+    ++census.nodes;
+    census.total_bytes += node.SizeBytes();
+    census.total_entries += node.count();
+  });
+  return census;
+}
+
+}  // namespace hot
+
+#endif  // HOT_HOT_STATS_H_

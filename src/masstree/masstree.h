@@ -1,0 +1,599 @@
+// Masstree-style hybrid index (Mao, Kohler, Morris, EuroSys 2012), the
+// paper's trie/B-tree hybrid baseline (§6.1).
+//
+// Masstree is a trie with a 64-bit span whose "nodes" are B+-trees: layer L
+// indexes bytes [8L, 8L+8) of the key as one big-endian 64-bit slice; keys
+// sharing a full slice descend into a next-layer B+-tree.  Because all keys
+// in this repository are prefix-free (fixed-width integers, or strings with
+// a 0x00 terminator), a slice value is unambiguous: it maps either to one
+// final key or to a set of longer keys — never both — so entries need only
+// a tid/subtree tag, not per-entry key lengths.
+//
+// The per-layer structure is a cache-friendly B+-tree with 15 keys per node
+// (as in Masstree).  Like the other indexes, values are 63-bit tuple
+// identifiers resolved through a KeyExtractor, and the final lookup step
+// verifies the candidate against the search key.
+
+#ifndef HOT_MASSTREE_MASSTREE_H_
+#define HOT_MASSTREE_MASSTREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+
+#include "common/alloc.h"
+#include "common/extractors.h"
+#include "common/key.h"
+
+namespace hot {
+namespace masstree {
+
+// Tagged value slot: MSB = tuple identifier; otherwise a pointer to the
+// next-layer tree.
+struct Slot {
+  static constexpr uint64_t kTidBit = 1ULL << 63;
+  static uint64_t MakeTid(uint64_t payload) { return payload | kTidBit; }
+  static bool IsTid(uint64_t v) { return (v & kTidBit) != 0; }
+  static uint64_t TidPayload(uint64_t v) { return v & ~kTidBit; }
+};
+
+// B+-tree over 64-bit slices, 15 keys per node (Masstree's fanout).
+class LayerTree {
+ public:
+  static constexpr unsigned kSlots = 15;
+
+  explicit LayerTree(CountingAllocator* alloc) : alloc_(alloc) {}
+  ~LayerTree() { Clear(); }
+
+  LayerTree(const LayerTree&) = delete;
+  LayerTree& operator=(const LayerTree&) = delete;
+
+  // Returns the value slot for `slice` or nullptr.
+  uint64_t* Find(uint64_t slice) const {
+    if (root_ == nullptr) return nullptr;
+    Node* node = root_;
+    while (!node->is_leaf) {
+      node = node->children[UpperIndex(node, slice)];
+    }
+    unsigned i = LowerIndex(node, slice);
+    if (i < node->count && node->keys[i] == slice) return &node->values[i];
+    return nullptr;
+  }
+
+  // Inserts slice -> value; returns false (and leaves the tree unchanged)
+  // if the slice exists.  *slot_out receives the value slot either way.
+  bool Insert(uint64_t slice, uint64_t value, uint64_t** slot_out = nullptr) {
+    if (root_ == nullptr) {
+      root_ = NewNode(true);
+      root_->keys[0] = slice;
+      root_->values[0] = value;
+      root_->count = 1;
+      ++entries_;
+      if (slot_out != nullptr) *slot_out = &root_->values[0];
+      return true;
+    }
+    uint64_t up_key = 0;
+    Node* up_node = nullptr;
+    uint64_t* slot = nullptr;
+    int r = InsertRec(root_, slice, value, &up_key, &up_node, &slot);
+    if (r == 0) {
+      if (slot_out != nullptr) *slot_out = slot;
+      return false;
+    }
+    if (up_node != nullptr) {
+      Node* new_root = NewNode(false);
+      new_root->keys[0] = up_key;
+      new_root->children[0] = root_;
+      new_root->children[1] = up_node;
+      new_root->count = 1;
+      root_ = new_root;
+      // The slot pointer stays valid: splits copy values before we return,
+      // so re-find to be safe.
+      slot = Find(slice);
+    }
+    ++entries_;
+    if (slot_out != nullptr) *slot_out = slot;
+    return true;
+  }
+
+  // Removes `slice`; returns the removed value.
+  std::optional<uint64_t> Remove(uint64_t slice) {
+    uint64_t* slot = Find(slice);
+    if (slot == nullptr) return std::nullopt;
+    uint64_t value = *slot;
+    RemoveRec(root_, slice);
+    if (!root_->is_leaf && root_->count == 0) {
+      Node* old = root_;
+      root_ = old->children[0];
+      FreeNode(old);
+    } else if (root_->is_leaf && root_->count == 0) {
+      FreeNode(root_);
+      root_ = nullptr;
+    }
+    --entries_;
+    return value;
+  }
+
+  // In-order visit of (slice, value); fn returns false to stop.  Starts at
+  // the first slice >= `from`.  Returns false if stopped.
+  template <typename Fn>
+  bool VisitFrom(uint64_t from, Fn&& fn) const {
+    if (root_ == nullptr) return true;
+    Node* node = root_;
+    while (!node->is_leaf) node = node->children[UpperIndex(node, from)];
+    unsigned i = LowerIndex(node, from);
+    while (node != nullptr) {
+      for (; i < node->count; ++i) {
+        if (!fn(node->keys[i], node->values[i])) return false;
+      }
+      node = node->next;
+      i = 0;
+    }
+    return true;
+  }
+
+  size_t entries() const { return entries_; }
+
+  void Clear() {
+    if (root_ != nullptr) {
+      ClearRec(root_);
+      root_ = nullptr;
+    }
+    entries_ = 0;
+  }
+
+  // Applies fn to every value slot (used for recursive teardown).
+  template <typename Fn>
+  void ForEachValue(Fn&& fn) const {
+    VisitFrom(0, [&](uint64_t, uint64_t v) {
+      fn(v);
+      return true;
+    });
+  }
+
+ private:
+  struct Node {
+    bool is_leaf;
+    uint16_t count;
+    Node* next;  // leaf chaining
+    uint64_t keys[kSlots];
+    union {
+      uint64_t values[kSlots];        // leaves
+      Node* children[kSlots + 1];     // inner nodes
+    };
+  };
+
+  Node* NewNode(bool leaf) {
+    void* mem = alloc_->AllocateAligned(sizeof(Node), 64);
+    auto* n = new (mem) Node();
+    n->is_leaf = leaf;
+    n->count = 0;
+    n->next = nullptr;
+    return n;
+  }
+
+  void FreeNode(Node* n) { alloc_->FreeAligned(n, sizeof(Node), 64); }
+
+  // First index with keys[i] >= slice.
+  static unsigned LowerIndex(const Node* n, uint64_t slice) {
+    unsigned lo = 0, hi = n->count;
+    while (lo < hi) {
+      unsigned mid = (lo + hi) / 2;
+      if (n->keys[mid] < slice) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Child index for descent: first separator > slice routes left, equal
+  // goes right (separators are copies of leaf keys).
+  static unsigned UpperIndex(const Node* n, uint64_t slice) {
+    unsigned lo = 0, hi = n->count;
+    while (lo < hi) {
+      unsigned mid = (lo + hi) / 2;
+      if (n->keys[mid] <= slice) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Returns 0 = duplicate, 1 = inserted.  *up_node != nullptr on split.
+  int InsertRec(Node* node, uint64_t slice, uint64_t value, uint64_t* up_key,
+                Node** up_node, uint64_t** slot) {
+    if (node->is_leaf) {
+      unsigned i = LowerIndex(node, slice);
+      if (i < node->count && node->keys[i] == slice) {
+        *slot = &node->values[i];
+        return 0;
+      }
+      if (node->count < kSlots) {
+        std::memmove(node->keys + i + 1, node->keys + i,
+                     (node->count - i) * sizeof(uint64_t));
+        std::memmove(node->values + i + 1, node->values + i,
+                     (node->count - i) * sizeof(uint64_t));
+        node->keys[i] = slice;
+        node->values[i] = value;
+        ++node->count;
+        *slot = &node->values[i];
+        return 1;
+      }
+      Node* right = NewNode(true);
+      unsigned mid = kSlots / 2;
+      right->count = kSlots - mid;
+      std::memcpy(right->keys, node->keys + mid,
+                  right->count * sizeof(uint64_t));
+      std::memcpy(right->values, node->values + mid,
+                  right->count * sizeof(uint64_t));
+      node->count = mid;
+      right->next = node->next;
+      node->next = right;
+      *up_key = right->keys[0];
+      *up_node = right;
+      Node* target = slice < right->keys[0] ? node : right;
+      unsigned j = LowerIndex(target, slice);
+      std::memmove(target->keys + j + 1, target->keys + j,
+                   (target->count - j) * sizeof(uint64_t));
+      std::memmove(target->values + j + 1, target->values + j,
+                   (target->count - j) * sizeof(uint64_t));
+      target->keys[j] = slice;
+      target->values[j] = value;
+      ++target->count;
+      *slot = &target->values[j];
+      return 1;
+    }
+
+    unsigned c = UpperIndex(node, slice);
+    uint64_t child_up_key = 0;
+    Node* child_up = nullptr;
+    int r = InsertRec(node->children[c], slice, value, &child_up_key,
+                      &child_up, slot);
+    if (r == 0 || child_up == nullptr) return r;
+    if (node->count < kSlots) {
+      std::memmove(node->keys + c + 1, node->keys + c,
+                   (node->count - c) * sizeof(uint64_t));
+      std::memmove(node->children + c + 2, node->children + c + 1,
+                   (node->count - c) * sizeof(Node*));
+      node->keys[c] = child_up_key;
+      node->children[c + 1] = child_up;
+      ++node->count;
+      return 1;
+    }
+    // Split this inner node.
+    Node* right = NewNode(false);
+    unsigned mid = kSlots / 2;
+    uint64_t promoted = node->keys[mid];
+    right->count = node->count - mid - 1;
+    std::memcpy(right->keys, node->keys + mid + 1,
+                right->count * sizeof(uint64_t));
+    std::memcpy(right->children, node->children + mid + 1,
+                (right->count + 1) * sizeof(Node*));
+    node->count = mid;
+    Node* target = node;
+    unsigned at = c;
+    if (c > mid) {
+      target = right;
+      at = c - mid - 1;
+    } else if (c == mid) {
+      // The new child becomes right's leftmost child... handled by placing
+      // the separator at the boundary: insert into left at position mid.
+      target = node;
+      at = c;
+    }
+    std::memmove(target->keys + at + 1, target->keys + at,
+                 (target->count - at) * sizeof(uint64_t));
+    std::memmove(target->children + at + 2, target->children + at + 1,
+                 (target->count - at) * sizeof(Node*));
+    target->keys[at] = child_up_key;
+    target->children[at + 1] = child_up;
+    ++target->count;
+    *up_key = promoted;
+    *up_node = right;
+    return 1;
+  }
+
+  void RemoveRec(Node* node, uint64_t slice) {
+    if (node->is_leaf) {
+      unsigned i = LowerIndex(node, slice);
+      assert(i < node->count && node->keys[i] == slice);
+      std::memmove(node->keys + i, node->keys + i + 1,
+                   (node->count - i - 1) * sizeof(uint64_t));
+      std::memmove(node->values + i, node->values + i + 1,
+                   (node->count - i - 1) * sizeof(uint64_t));
+      --node->count;
+      return;
+    }
+    unsigned c = UpperIndex(node, slice);
+    Node* child = node->children[c];
+    RemoveRec(child, slice);
+    if (child->count >= kSlots / 4) return;
+    // Rebalance child with a sibling.
+    unsigned li = c > 0 ? c - 1 : c;
+    if (li + 1 > node->count) return;
+    Node* l = node->children[li];
+    Node* r = node->children[li + 1];
+    if (l->is_leaf) {
+      if (l->count + r->count <= kSlots) {
+        std::memcpy(l->keys + l->count, r->keys, r->count * sizeof(uint64_t));
+        std::memcpy(l->values + l->count, r->values,
+                    r->count * sizeof(uint64_t));
+        l->count += r->count;
+        l->next = r->next;
+        DropSeparator(node, li);
+        FreeNode(r);
+      } else {
+        unsigned total = l->count + r->count;
+        unsigned want = total / 2;
+        if (l->count > want) {
+          unsigned moved = l->count - want;
+          std::memmove(r->keys + moved, r->keys, r->count * sizeof(uint64_t));
+          std::memmove(r->values + moved, r->values,
+                       r->count * sizeof(uint64_t));
+          std::memcpy(r->keys, l->keys + want, moved * sizeof(uint64_t));
+          std::memcpy(r->values, l->values + want, moved * sizeof(uint64_t));
+          r->count += moved;
+          l->count = want;
+        } else {
+          unsigned moved = want - l->count;
+          std::memcpy(l->keys + l->count, r->keys, moved * sizeof(uint64_t));
+          std::memcpy(l->values + l->count, r->values,
+                      moved * sizeof(uint64_t));
+          std::memmove(r->keys, r->keys + moved,
+                       (r->count - moved) * sizeof(uint64_t));
+          std::memmove(r->values, r->values + moved,
+                       (r->count - moved) * sizeof(uint64_t));
+          r->count -= moved;
+          l->count = want;
+        }
+        node->keys[li] = r->keys[0];
+      }
+    } else {
+      if (l->count + 1 + r->count <= kSlots) {
+        l->keys[l->count] = node->keys[li];
+        std::memcpy(l->keys + l->count + 1, r->keys,
+                    r->count * sizeof(uint64_t));
+        std::memcpy(l->children + l->count + 1, r->children,
+                    (r->count + 1) * sizeof(Node*));
+        l->count += 1 + r->count;
+        DropSeparator(node, li);
+        FreeNode(r);
+      } else if (l->count > r->count) {
+        std::memmove(r->keys + 1, r->keys, r->count * sizeof(uint64_t));
+        std::memmove(r->children + 1, r->children,
+                     (r->count + 1) * sizeof(Node*));
+        r->keys[0] = node->keys[li];
+        r->children[0] = l->children[l->count];
+        ++r->count;
+        node->keys[li] = l->keys[l->count - 1];
+        --l->count;
+      } else {
+        l->keys[l->count] = node->keys[li];
+        l->children[l->count + 1] = r->children[0];
+        ++l->count;
+        node->keys[li] = r->keys[0];
+        std::memmove(r->keys, r->keys + 1, (r->count - 1) * sizeof(uint64_t));
+        std::memmove(r->children, r->children + 1, r->count * sizeof(Node*));
+        --r->count;
+      }
+    }
+  }
+
+  void DropSeparator(Node* node, unsigned at) {
+    std::memmove(node->keys + at, node->keys + at + 1,
+                 (node->count - at - 1) * sizeof(uint64_t));
+    std::memmove(node->children + at + 1, node->children + at + 2,
+                 (node->count - at - 1) * sizeof(Node*));
+    --node->count;
+  }
+
+  void ClearRec(Node* node) {
+    if (!node->is_leaf) {
+      for (unsigned i = 0; i <= node->count; ++i) ClearRec(node->children[i]);
+    }
+    FreeNode(node);
+  }
+
+  CountingAllocator* alloc_;
+  Node* root_ = nullptr;
+  size_t entries_ = 0;
+};
+
+}  // namespace masstree
+
+template <typename KeyExtractor>
+class Masstree {
+ public:
+  explicit Masstree(KeyExtractor extractor = KeyExtractor(),
+                    MemoryCounter* counter = nullptr)
+      : extractor_(extractor), alloc_(counter), root_(NewLayer()) {}
+
+  ~Masstree() {
+    Teardown(root_);
+  }
+
+  Masstree(const Masstree&) = delete;
+  Masstree& operator=(const Masstree&) = delete;
+
+  bool Insert(uint64_t value) {
+    KeyScratch scratch;
+    KeyRef key = extractor_(value, scratch);
+    masstree::LayerTree* tree = root_;
+    unsigned layer = 0;
+    for (;;) {
+      uint64_t slice = Slice(key, layer);
+      uint64_t* slot = nullptr;
+      if (tree->Insert(slice, masstree::Slot::MakeTid(value), &slot)) {
+        ++size_;
+        return true;
+      }
+      // Slice occupied.
+      if (!masstree::Slot::IsTid(*slot)) {
+        tree = LayerPtr(*slot);
+        ++layer;
+        continue;
+      }
+      uint64_t existing = masstree::Slot::TidPayload(*slot);
+      KeyScratch existing_scratch;
+      KeyRef existing_key = extractor_(existing, existing_scratch);
+      if (existing_key == key) return false;  // duplicate
+      // Both keys continue past this slice (prefix-free inputs): push the
+      // existing tid down into a fresh next-layer tree, then retry there.
+      // Keys may share several further slices; the loop handles the chain.
+      masstree::LayerTree* next = NewLayer();
+      uint64_t existing_next_slice = Slice(existing_key, layer + 1);
+      next->Insert(existing_next_slice, masstree::Slot::MakeTid(existing));
+      *slot = MakeLayer(next);
+      tree = next;
+      ++layer;
+    }
+  }
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    const masstree::LayerTree* tree = root_;
+    unsigned layer = 0;
+    for (;;) {
+      uint64_t* slot = tree->Find(Slice(key, layer));
+      if (slot == nullptr) return std::nullopt;
+      if (masstree::Slot::IsTid(*slot)) {
+        uint64_t payload = masstree::Slot::TidPayload(*slot);
+        KeyScratch scratch;
+        if (extractor_(payload, scratch) == key) return payload;
+        return std::nullopt;
+      }
+      tree = LayerPtr(*slot);
+      ++layer;
+    }
+  }
+
+  bool Remove(KeyRef key) {
+    // Track the path of (tree, slice) so emptied layers collapse.
+    struct PathEntry {
+      masstree::LayerTree* tree;
+      uint64_t slice;
+    };
+    PathEntry path[32];
+    unsigned depth = 0;
+    masstree::LayerTree* tree = root_;
+    unsigned layer = 0;
+    for (;;) {
+      uint64_t slice = Slice(key, layer);
+      uint64_t* slot = tree->Find(slice);
+      if (slot == nullptr) return false;
+      path[depth++] = {tree, slice};
+      if (masstree::Slot::IsTid(*slot)) {
+        uint64_t payload = masstree::Slot::TidPayload(*slot);
+        KeyScratch scratch;
+        if (!(extractor_(payload, scratch) == key)) return false;
+        tree->Remove(slice);
+        --size_;
+        // Collapse emptied / single-tid layers upward.
+        for (unsigned d = depth - 1; d > 0; --d) {
+          masstree::LayerTree* t = path[d].tree;
+          if (t->entries() > 1) break;
+          uint64_t* parent_slot = path[d - 1].tree->Find(path[d - 1].slice);
+          assert(parent_slot != nullptr);
+          if (t->entries() == 0) {
+            path[d - 1].tree->Remove(path[d - 1].slice);
+            DeleteLayer(t);
+            // Continue: parent may now be empty too.
+          } else {
+            // One entry left: if it is a tid, pull it up.
+            uint64_t remaining = 0;
+            t->ForEachValue([&](uint64_t v) { remaining = v; });
+            if (!masstree::Slot::IsTid(remaining)) break;
+            *parent_slot = remaining;
+            DeleteLayer(t);
+            break;
+          }
+        }
+        return true;
+      }
+      tree = LayerPtr(*slot);
+      ++layer;
+      assert(depth < 32);
+    }
+  }
+
+  // Visits up to `limit` values with key >= start in key order.
+  template <typename Fn>
+  size_t ScanFrom(KeyRef start, size_t limit, Fn&& fn) const {
+    size_t seen = 0;
+    ScanLayer(root_, start, 0, false, limit, &seen, fn);
+    return seen;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  MemoryCounter* counter() const { return alloc_.counter(); }
+
+ private:
+  static uint64_t Slice(KeyRef key, unsigned layer) {
+    size_t off = static_cast<size_t>(layer) * 8;
+    if (off + 8 <= key.size()) return LoadBigEndian64(key.data() + off);
+    uint8_t buf[8] = {0};
+    if (off < key.size()) std::memcpy(buf, key.data() + off, key.size() - off);
+    return LoadBigEndian64(buf);
+  }
+
+  static masstree::LayerTree* LayerPtr(uint64_t slot) {
+    return reinterpret_cast<masstree::LayerTree*>(
+        static_cast<uintptr_t>(slot));
+  }
+  static uint64_t MakeLayer(masstree::LayerTree* tree) {
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(tree));
+  }
+
+  masstree::LayerTree* NewLayer() {
+    void* mem = alloc_.AllocateAligned(sizeof(masstree::LayerTree), 8);
+    return new (mem) masstree::LayerTree(&alloc_);
+  }
+
+  void DeleteLayer(masstree::LayerTree* tree) {
+    tree->~LayerTree();
+    alloc_.FreeAligned(tree, sizeof(masstree::LayerTree), 8);
+  }
+
+  void Teardown(masstree::LayerTree* tree) {
+    tree->ForEachValue([&](uint64_t v) {
+      if (!masstree::Slot::IsTid(v)) Teardown(LayerPtr(v));
+    });
+    DeleteLayer(tree);
+  }
+
+  // `past` = this subtree is entirely >= start already.
+  template <typename Fn>
+  bool ScanLayer(const masstree::LayerTree* tree, KeyRef start, unsigned layer,
+                 bool past, size_t limit, size_t* seen, Fn&& fn) const {
+    uint64_t from = past ? 0 : Slice(start, layer);
+    return tree->VisitFrom(from, [&](uint64_t slice, uint64_t v) {
+      bool subtree_past = past || slice > Slice(start, layer);
+      if (masstree::Slot::IsTid(v)) {
+        uint64_t payload = masstree::Slot::TidPayload(v);
+        if (!subtree_past) {
+          KeyScratch scratch;
+          if (extractor_(payload, scratch).Compare(start) < 0) return true;
+        }
+        fn(payload);
+        return ++*seen < limit;
+      }
+      return ScanLayer(LayerPtr(v), start, layer + 1, subtree_past, limit,
+                       seen, fn);
+    });
+  }
+
+  KeyExtractor extractor_;
+  mutable CountingAllocator alloc_;
+  masstree::LayerTree* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hot
+
+#endif  // HOT_MASSTREE_MASSTREE_H_

@@ -1,0 +1,245 @@
+// Binary Patricia trie (paper §2, Fig. 2b).
+//
+// A pointer-based PATRICIA tree [Morrison 1968]: inner nodes ("BiNodes" in
+// the paper's terminology) carry one discriminative bit position and exactly
+// two children; one-way branches are elided, so a trie over n keys has
+// exactly n-1 inner nodes.  Keys are binary-comparable byte strings; leaves
+// store 63-bit tuple identifiers whose keys are resolved via a KeyExtractor
+// (see common/extractors.h).
+//
+// Role in this repository:
+//   * the leaf-depth baseline "BIN" of the height experiment (Fig. 11),
+//   * the structural oracle for HOT's differential tests — HOT compound
+//     nodes are by definition partitions of this exact structure (§3.1).
+
+#ifndef HOT_PATRICIA_PATRICIA_H_
+#define HOT_PATRICIA_PATRICIA_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/alloc.h"
+#include "common/extractors.h"
+#include "common/key.h"
+
+namespace hot {
+
+template <typename KeyExtractor>
+class PatriciaTrie {
+ public:
+  explicit PatriciaTrie(KeyExtractor extractor = KeyExtractor(),
+                        MemoryCounter* counter = nullptr)
+      : extractor_(extractor), alloc_(counter), root_(kEmpty) {}
+
+  ~PatriciaTrie() { Clear(); }
+
+  PatriciaTrie(const PatriciaTrie&) = delete;
+  PatriciaTrie& operator=(const PatriciaTrie&) = delete;
+
+  // Inserts `value` under the key it extracts to.  Returns false if the key
+  // is already present (the stored value is left unchanged).
+  bool Insert(uint64_t value) {
+    assert((value >> 63) == 0 && "values are 63-bit payloads");
+    KeyScratch scratch;
+    KeyRef key = extractor_(value, scratch);
+    if (root_ == kEmpty) {
+      root_ = MakeLeaf(value);
+      ++size_;
+      return true;
+    }
+    // Blind descent to any leaf sharing the longest prefix.
+    uint64_t leaf = DescendToLeaf(root_, key);
+    KeyScratch existing_scratch;
+    KeyRef existing = extractor_(LeafValue(leaf), existing_scratch);
+    size_t p = FirstMismatchBit(key, existing);
+    if (p == kNoMismatch) return false;  // duplicate key
+    unsigned new_bit = key.Bit(p);
+    // Second descent: find the edge where an inner node with bit `p` belongs
+    // (bit positions strictly increase downward).
+    uint64_t* slot = &root_;
+    while (IsInner(*slot) && AsInner(*slot)->bit < p) {
+      slot = &AsInner(*slot)->child[key.Bit(AsInner(*slot)->bit)];
+    }
+    InnerNode* node = NewInner(static_cast<uint32_t>(p));
+    node->child[new_bit] = MakeLeaf(value);
+    node->child[1 - new_bit] = *slot;
+    *slot = MakeInnerPtr(node);
+    ++size_;
+    return true;
+  }
+
+  // Returns the stored value for `key`, if present.
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    if (root_ == kEmpty) return std::nullopt;
+    uint64_t leaf = DescendToLeaf(root_, key);
+    KeyScratch scratch;
+    if (extractor_(LeafValue(leaf), scratch) == key) return LeafValue(leaf);
+    return std::nullopt;
+  }
+
+  // Removes `key`.  Returns false if not present.
+  bool Remove(KeyRef key) {
+    if (root_ == kEmpty) return false;
+    uint64_t* slot = &root_;
+    uint64_t* parent_slot = nullptr;
+    while (IsInner(*slot)) {
+      parent_slot = slot;
+      slot = &AsInner(*slot)->child[key.Bit(AsInner(*slot)->bit)];
+    }
+    KeyScratch scratch;
+    if (!(extractor_(LeafValue(*slot), scratch) == key)) return false;
+    --size_;
+    if (parent_slot == nullptr) {
+      root_ = kEmpty;
+      return true;
+    }
+    InnerNode* parent = AsInner(*parent_slot);
+    uint64_t sibling =
+        (&parent->child[0] == slot) ? parent->child[1] : parent->child[0];
+    *parent_slot = sibling;
+    DeleteInner(parent);
+    return true;
+  }
+
+  // Calls fn(value) for every stored value with key >= `start`, in key
+  // order, until fn returns false or the trie is exhausted.  Returns the
+  // number of values visited.
+  //
+  // Blind descent alone can misroute a lower bound (skipped bits!), so the
+  // scan first determines the mismatch bit `p` between `start` and the
+  // candidate leaf: every key in the subtree hanging off the edge that
+  // covers `p` shares start's prefix up to `p`, so the whole subtree orders
+  // on the single bit start[p].
+  size_t ScanFrom(KeyRef start, const std::function<bool(uint64_t)>& fn) const {
+    if (root_ == kEmpty) return 0;
+    uint64_t leaf = DescendToLeaf(root_, start);
+    KeyScratch scratch;
+    KeyRef cand = extractor_(LeafValue(leaf), scratch);
+    size_t p = FirstMismatchBit(start, cand);
+    size_t visited = 0;
+    // Walk towards the covering edge, remembering right siblings of left
+    // turns: those subtrees contain exactly the successors of `start` above
+    // the divergence point, nearest successor last.
+    std::vector<uint64_t> pending;
+    uint64_t ptr = root_;
+    while (IsInner(ptr) && (p == kNoMismatch || AsInner(ptr)->bit < p)) {
+      const InnerNode* node = AsInner(ptr);
+      unsigned b = start.Bit(node->bit);
+      if (b == 0) pending.push_back(node->child[1]);
+      ptr = node->child[b];
+    }
+    bool cont = true;
+    if (p == kNoMismatch || start.Bit(p) == 0) {
+      // `start` is present or smaller than everything in this subtree.
+      cont = EmitAll(ptr, fn, &visited);
+    }
+    while (cont && !pending.empty()) {
+      uint64_t sub = pending.back();
+      pending.pop_back();
+      cont = EmitAll(sub, fn, &visited);
+    }
+    return visited;
+  }
+
+  // In-order visit of all (depth, value) pairs; depth of a leaf directly at
+  // the root is 1 (matches the height definition of paper §3.1).
+  void ForEachLeaf(const std::function<void(size_t depth, uint64_t value)>& fn)
+      const {
+    VisitRec(root_, 1, fn);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    ClearRec(root_);
+    root_ = kEmpty;
+    size_ = 0;
+  }
+
+ private:
+  struct InnerNode {
+    uint32_t bit;          // discriminative bit position
+    uint64_t child[2];     // tagged: MSB set => leaf holding 63-bit value
+  };
+
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kLeafTag = 1ULL << 63;
+
+  static bool IsLeaf(uint64_t ptr) { return (ptr & kLeafTag) != 0; }
+  static bool IsInner(uint64_t ptr) { return ptr != kEmpty && !IsLeaf(ptr); }
+  static uint64_t MakeLeaf(uint64_t value) { return value | kLeafTag; }
+  static uint64_t LeafValue(uint64_t ptr) { return ptr & ~kLeafTag; }
+  static InnerNode* AsInner(uint64_t ptr) {
+    return reinterpret_cast<InnerNode*>(static_cast<uintptr_t>(ptr));
+  }
+  static uint64_t MakeInnerPtr(InnerNode* node) {
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(node));
+  }
+
+  InnerNode* NewInner(uint32_t bit) {
+    void* mem = alloc_.AllocateAligned(sizeof(InnerNode), alignof(InnerNode));
+    InnerNode* node = new (mem) InnerNode();
+    node->bit = bit;
+    node->child[0] = kEmpty;
+    node->child[1] = kEmpty;
+    return node;
+  }
+
+  void DeleteInner(InnerNode* node) {
+    alloc_.FreeAligned(node, sizeof(InnerNode), alignof(InnerNode));
+  }
+
+  uint64_t DescendToLeaf(uint64_t ptr, KeyRef key) const {
+    while (IsInner(ptr)) {
+      const InnerNode* node = AsInner(ptr);
+      ptr = node->child[key.Bit(node->bit)];
+    }
+    return ptr;
+  }
+
+  // In-order emit of an entire subtree.  Returns false if fn stopped.
+  bool EmitAll(uint64_t ptr, const std::function<bool(uint64_t)>& fn,
+               size_t* visited) const {
+    if (ptr == kEmpty) return true;
+    if (IsLeaf(ptr)) {
+      ++*visited;
+      return fn(LeafValue(ptr));
+    }
+    const InnerNode* node = AsInner(ptr);
+    return EmitAll(node->child[0], fn, visited) &&
+           EmitAll(node->child[1], fn, visited);
+  }
+
+  void VisitRec(uint64_t ptr, size_t depth,
+                const std::function<void(size_t, uint64_t)>& fn) const {
+    if (ptr == kEmpty) return;
+    if (IsLeaf(ptr)) {
+      fn(depth, LeafValue(ptr));
+      return;
+    }
+    const InnerNode* node = AsInner(ptr);
+    VisitRec(node->child[0], depth + 1, fn);
+    VisitRec(node->child[1], depth + 1, fn);
+  }
+
+  void ClearRec(uint64_t ptr) {
+    if (!IsInner(ptr)) return;
+    InnerNode* node = AsInner(ptr);
+    ClearRec(node->child[0]);
+    ClearRec(node->child[1]);
+    DeleteInner(node);
+  }
+
+  KeyExtractor extractor_;
+  CountingAllocator alloc_;
+  uint64_t root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hot
+
+#endif  // HOT_PATRICIA_PATRICIA_H_

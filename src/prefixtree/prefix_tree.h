@@ -1,0 +1,155 @@
+// Generalized prefix tree with a static span (paper §2, Fig. 2c).
+//
+// The classic fixed-span trie: every inner node is an array of 2^s child
+// slots and consumes s key bits.  It is the motivating strawman for HOT —
+// its fanout, height and memory depend entirely on how the static span
+// interacts with the key distribution — and feeds the span ablation bench
+// (bench/ablation_span), which contrasts s ∈ {1,2,4,8} against ART's
+// adaptive nodes and HOT's adaptive span.
+//
+// Leaves are tagged 63-bit tuple identifiers; chains to a single leaf are
+// terminated eagerly (lazy expansion), as any practical implementation
+// does — without it a span-1 tree over 64-bit keys would always be 64 deep.
+
+#ifndef HOT_PREFIXTREE_PREFIX_TREE_H_
+#define HOT_PREFIXTREE_PREFIX_TREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+
+#include "common/alloc.h"
+#include "common/extractors.h"
+#include "common/key.h"
+
+namespace hot {
+
+template <typename KeyExtractor>
+class PrefixTree {
+ public:
+  // `span_bits` in [1, 8].
+  explicit PrefixTree(unsigned span_bits,
+                      KeyExtractor extractor = KeyExtractor(),
+                      MemoryCounter* counter = nullptr)
+      : span_(span_bits),
+        fanout_(1u << span_bits),
+        extractor_(extractor),
+        alloc_(counter),
+        root_(kEmpty) {
+    assert(span_bits >= 1 && span_bits <= 8);
+  }
+
+  ~PrefixTree() { ClearRec(root_); }
+
+  PrefixTree(const PrefixTree&) = delete;
+  PrefixTree& operator=(const PrefixTree&) = delete;
+
+  bool Insert(uint64_t value) {
+    KeyScratch scratch;
+    KeyRef key = extractor_(value, scratch);
+    return InsertRec(&root_, key, value, 0);
+  }
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    uint64_t cur = root_;
+    unsigned depth = 0;
+    while (IsNode(cur)) {
+      cur = AsNode(cur)[Chunk(key, depth)];
+      ++depth;
+    }
+    if (cur == kEmpty) return std::nullopt;
+    KeyScratch scratch;
+    uint64_t payload = TidPayload(cur);
+    if (extractor_(payload, scratch) == key) return payload;
+    return std::nullopt;
+  }
+
+  size_t size() const { return size_; }
+
+  void ForEachLeaf(
+      const std::function<void(unsigned depth, uint64_t value)>& fn) const {
+    LeafRec(root_, 0, fn);
+  }
+
+  MemoryCounter* counter() const { return alloc_.counter(); }
+
+ private:
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kTidBit = 1ULL << 63;
+
+  static bool IsTid(uint64_t e) { return (e & kTidBit) != 0; }
+  static bool IsNode(uint64_t e) { return e != kEmpty && !IsTid(e); }
+  static uint64_t TidPayload(uint64_t e) { return e & ~kTidBit; }
+  static uint64_t* AsNode(uint64_t e) {
+    return reinterpret_cast<uint64_t*>(static_cast<uintptr_t>(e));
+  }
+
+  // The `depth`-th span-sized bit chunk of the key (zero padded).
+  unsigned Chunk(KeyRef key, unsigned depth) const {
+    unsigned first_bit = depth * span_;
+    unsigned chunk = 0;
+    for (unsigned b = 0; b < span_; ++b) {
+      chunk = (chunk << 1) | key.Bit(first_bit + b);
+    }
+    return chunk;
+  }
+
+  uint64_t* NewNode() {
+    size_t bytes = sizeof(uint64_t) * fanout_;
+    auto* node =
+        static_cast<uint64_t*>(alloc_.AllocateAligned(bytes, sizeof(uint64_t)));
+    std::memset(node, 0, bytes);
+    return node;
+  }
+
+  bool InsertRec(uint64_t* slot, KeyRef key, uint64_t value, unsigned depth) {
+    if (*slot == kEmpty) {
+      *slot = value | kTidBit;
+      ++size_;
+      return true;
+    }
+    if (IsTid(*slot)) {
+      KeyScratch scratch;
+      uint64_t existing = TidPayload(*slot);
+      KeyRef existing_key = extractor_(existing, scratch);
+      if (existing_key == key) return false;
+      // Expand: push the existing leaf down one level and retry.
+      uint64_t* node = NewNode();
+      node[Chunk(existing_key, depth)] = *slot;
+      *slot = reinterpret_cast<uintptr_t>(node);
+      return InsertRec(&node[Chunk(key, depth)], key, value, depth + 1);
+    }
+    return InsertRec(&AsNode(*slot)[Chunk(key, depth)], key, value, depth + 1);
+  }
+
+  void LeafRec(uint64_t entry, unsigned depth,
+               const std::function<void(unsigned, uint64_t)>& fn) const {
+    if (entry == kEmpty) return;
+    if (IsTid(entry)) {
+      fn(depth, TidPayload(entry));
+      return;
+    }
+    uint64_t* node = AsNode(entry);
+    for (unsigned c = 0; c < fanout_; ++c) LeafRec(node[c], depth + 1, fn);
+  }
+
+  void ClearRec(uint64_t entry) {
+    if (!IsNode(entry)) return;
+    uint64_t* node = AsNode(entry);
+    for (unsigned c = 0; c < fanout_; ++c) ClearRec(node[c]);
+    alloc_.FreeAligned(node, sizeof(uint64_t) * fanout_, sizeof(uint64_t));
+  }
+
+  unsigned span_;
+  unsigned fanout_;
+  KeyExtractor extractor_;
+  mutable CountingAllocator alloc_;
+  uint64_t root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hot
+
+#endif  // HOT_PREFIXTREE_PREFIX_TREE_H_

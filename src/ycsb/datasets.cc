@@ -1,0 +1,195 @@
+#include "ycsb/datasets.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace hot {
+namespace ycsb {
+namespace {
+
+// Skewed vocabulary helper: picks index via Zipf over `n` ranks.
+class Vocabulary {
+ public:
+  Vocabulary(size_t n, uint64_t seed) : zipf_(n, 0.99, seed) {}
+  size_t Pick() { return zipf_.Next(); }
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+const char* const kTlds[] = {"com", "org", "net", "de", "at", "edu", "io"};
+const char* const kSchemes[] = {"http://www.", "https://www.", "http://",
+                                "https://"};
+const char* const kPathWords[] = {
+    "index",  "article", "research", "products", "people",  "wiki",
+    "images", "public",  "download", "archive",  "news",    "blog",
+    "papers", "media",   "category", "tags",     "search",  "static",
+    "assets", "library", "docs",     "api",      "data",    "en",
+    "forum",  "user",    "profile",  "item",     "project", "release"};
+const char* const kFirstNames[] = {
+    "anna",  "ben",    "carla", "david", "eva",   "felix", "greta", "hans",
+    "ines",  "jonas",  "karin", "lukas", "maria", "nils",  "olivia",
+    "paul",  "quin",   "rosa",  "simon", "tina",  "ulrich", "vera",
+    "walter", "xenia", "yann",  "zoe"};
+const char* const kLastNames[] = {
+    "mueller", "schmidt", "binna",  "leis",   "zangerle", "pichl",
+    "specht",  "wagner",  "becker", "hofer",  "bauer",    "gruber",
+    "huber",   "steiner", "mayr",   "egger",  "brunner",  "moser",
+    "fischer", "weber",   "koch",   "wolf",   "auer",     "lang"};
+const char* const kProviders[] = {
+    "gmail.com",      "yahoo.com",    "hotmail.com", "outlook.com",
+    "gmx.at",         "web.de",       "aol.com",     "icloud.com",
+    "uibk.ac.at",     "in.tum.de",    "acm.org",     "example.org",
+    "protonmail.com", "fastmail.fm",  "live.com",    "mail.ru"};
+
+std::string MakeDomain(SplitMix64& rng, Vocabulary& domain_vocab) {
+  // Derive a stable pseudo-domain from the picked vocabulary rank so the
+  // same rank always yields the same domain (shared prefixes across URLs).
+  size_t rank = domain_vocab.Pick();
+  SplitMix64 domain_rng(rank * 0x9e3779b97f4a7c15ULL + 1);
+  std::string d;
+  size_t words = 1 + domain_rng.NextBounded(2);
+  for (size_t w = 0; w < words; ++w) {
+    d += kPathWords[domain_rng.NextBounded(std::size(kPathWords))];
+    if (w + 1 < words) d += "-";
+  }
+  d += std::to_string(rank % 1000);
+  d += ".";
+  d += kTlds[domain_rng.NextBounded(std::size(kTlds))];
+  (void)rng;
+  return d;
+}
+
+std::string MakeUrl(SplitMix64& rng, Vocabulary& domain_vocab) {
+  std::string url = kSchemes[rng.NextBounded(std::size(kSchemes))];
+  url += MakeDomain(rng, domain_vocab);
+  size_t segments = 1 + rng.NextBounded(4);
+  for (size_t s = 0; s < segments; ++s) {
+    url += "/";
+    url += kPathWords[rng.NextBounded(std::size(kPathWords))];
+  }
+  switch (rng.NextBounded(3)) {
+    case 0:
+      url += "/" + std::to_string(rng.NextBounded(10000000)) + ".html";
+      break;
+    case 1:
+      url += "?id=" + std::to_string(rng.NextBounded(1000000));
+      break;
+    default:
+      url += "/";
+      break;
+  }
+  return url;
+}
+
+std::string MakeEmail(SplitMix64& rng, Vocabulary& provider_vocab) {
+  std::string local;
+  switch (rng.NextBounded(5)) {
+    case 0:  // first.last
+      local = std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) +
+              "." + kLastNames[rng.NextBounded(std::size(kLastNames))];
+      break;
+    case 1:  // first.last + digits
+      local = std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) +
+              "." + kLastNames[rng.NextBounded(std::size(kLastNames))] +
+              std::to_string(rng.NextBounded(1000));
+      break;
+    case 2:  // initials + last
+      local.push_back('a' + static_cast<char>(rng.NextBounded(26)));
+      local += kLastNames[rng.NextBounded(std::size(kLastNames))];
+      break;
+    case 3:  // word + digits
+      local = kPathWords[rng.NextBounded(std::size(kPathWords))];
+      local += std::to_string(rng.NextBounded(100000));
+      break;
+    default:  // all digits (the paper mentions numeric-only addresses)
+      local = std::to_string(10000000 + rng.NextBounded(90000000));
+      break;
+  }
+  size_t rank = provider_vocab.Pick();
+  return local + "@" + kProviders[rank % std::size(kProviders)];
+}
+
+uint64_t MakeYago(SplitMix64& rng, ZipfianGenerator& subjects) {
+  // Bit layout from the paper §6.1: object id bits 0-25, predicate bits
+  // 26-36, subject bits 37-62.
+  uint64_t subject = subjects.Next() & ((1ULL << 26) - 1);
+  uint64_t predicate = rng.NextBounded(60);  // small predicate vocabulary
+  uint64_t object = rng.NextBounded(1ULL << 26);
+  return (subject << 37) | (predicate << 26) | object;
+}
+
+}  // namespace
+
+double DataSet::AverageKeyBytes() const {
+  if (!IsString()) return 8.0;
+  size_t total = 0;
+  for (const auto& s : strings) total += s.size();
+  return strings.empty() ? 0.0
+                         : static_cast<double>(total) /
+                               static_cast<double>(strings.size());
+}
+
+size_t DataSet::RawKeyBytes() const {
+  if (!IsString()) return ints.size() * 8;
+  size_t total = 0;
+  for (const auto& s : strings) total += s.size();
+  return total;
+}
+
+DataSet GenerateDataSet(DataSetKind kind, size_t n, uint64_t seed) {
+  DataSet ds;
+  ds.kind = kind;
+  SplitMix64 rng(seed);
+  switch (kind) {
+    case DataSetKind::kUrl: {
+      Vocabulary domains(50000, seed + 1);
+      std::unordered_set<std::string> seen;
+      seen.reserve(n * 2);
+      ds.strings.reserve(n);
+      while (ds.strings.size() < n) {
+        std::string u = MakeUrl(rng, domains);
+        if (seen.insert(u).second) ds.strings.push_back(std::move(u));
+      }
+      break;
+    }
+    case DataSetKind::kEmail: {
+      Vocabulary providers(std::size(kProviders) * 4, seed + 2);
+      std::unordered_set<std::string> seen;
+      seen.reserve(n * 2);
+      ds.strings.reserve(n);
+      while (ds.strings.size() < n) {
+        std::string e = MakeEmail(rng, providers);
+        if (seen.insert(e).second) ds.strings.push_back(std::move(e));
+      }
+      break;
+    }
+    case DataSetKind::kYago: {
+      ZipfianGenerator subjects(1ULL << 20, 0.8, seed + 3);
+      std::unordered_set<uint64_t> seen;
+      seen.reserve(n * 2);
+      ds.ints.reserve(n);
+      while (ds.ints.size() < n) {
+        uint64_t k = MakeYago(rng, subjects);
+        if (seen.insert(k).second) ds.ints.push_back(k);
+      }
+      break;
+    }
+    case DataSetKind::kInteger: {
+      std::unordered_set<uint64_t> seen;
+      seen.reserve(n * 2);
+      ds.ints.reserve(n);
+      while (ds.ints.size() < n) {
+        uint64_t k = rng.Next() >> 1;  // 63-bit
+        if (seen.insert(k).second) ds.ints.push_back(k);
+      }
+      break;
+    }
+  }
+  return ds;
+}
+
+}  // namespace ycsb
+}  // namespace hot

@@ -1,0 +1,67 @@
+// Data-set generators for the paper's four benchmark data sets (§6.1).
+//
+// The paper uses two proprietary text corpora (a URL crawl and an email
+// address data set), the Yago2 triple identifiers, and uniform random
+// integers.  The synthetic generators here reproduce the *structural*
+// properties that determine trie behaviour (DESIGN.md "Substitutions"):
+//
+//   url     ~55-byte URLs: shared scheme/host prefixes (a skewed domain
+//           vocabulary), multi-segment paths, sparse byte alphabet.
+//   email   ~23-byte addresses: skewed local-part patterns and a heavily
+//           skewed provider vocabulary; some all-digit local parts.
+//   yago    8-byte compound triple keys with the exact bit layout the paper
+//           states: object id in bits 0-25, predicate in bits 26-36,
+//           subject in bits 37-62; non-uniform (Zipfian subjects, small
+//           predicate vocabulary).
+//   integer uniformly distributed 63-bit random integers.
+//
+// All generators are deterministic in their seed.
+
+#ifndef HOT_YCSB_DATASETS_H_
+#define HOT_YCSB_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hot {
+namespace ycsb {
+
+enum class DataSetKind { kUrl, kEmail, kYago, kInteger };
+
+inline const char* DataSetName(DataSetKind k) {
+  switch (k) {
+    case DataSetKind::kUrl:
+      return "url";
+    case DataSetKind::kEmail:
+      return "email";
+    case DataSetKind::kYago:
+      return "yago";
+    case DataSetKind::kInteger:
+      return "integer";
+  }
+  return "?";
+}
+
+// Generates `n` distinct keys.  String data sets fill `strings`; integer
+// data sets fill `ints`.
+struct DataSet {
+  DataSetKind kind;
+  std::vector<std::string> strings;
+  std::vector<uint64_t> ints;
+
+  bool IsString() const {
+    return kind == DataSetKind::kUrl || kind == DataSetKind::kEmail;
+  }
+  size_t size() const { return IsString() ? strings.size() : ints.size(); }
+
+  double AverageKeyBytes() const;
+  size_t RawKeyBytes() const;
+};
+
+DataSet GenerateDataSet(DataSetKind kind, size_t n, uint64_t seed = 42);
+
+}  // namespace ycsb
+}  // namespace hot
+
+#endif  // HOT_YCSB_DATASETS_H_

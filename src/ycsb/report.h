@@ -1,0 +1,111 @@
+// Benchmark reporting and configuration helpers shared by the bench
+// binaries: fixed-width table printing (one row per index structure, as in
+// the paper's figures) and scale configuration via flags / environment.
+//
+// Scale defaults: the paper loads 50M keys and runs 100M operations; the
+// repository defaults to 1M/2M so the whole figure suite regenerates in
+// well under an hour on one laptop core.  Override with --keys= / --ops= or
+// HOT_BENCH_KEYS / HOT_BENCH_OPS.
+
+#ifndef HOT_YCSB_REPORT_H_
+#define HOT_YCSB_REPORT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hot {
+namespace ycsb {
+
+struct BenchConfig {
+  size_t keys = 1'000'000;
+  size_t ops = 2'000'000;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  uint64_t seed = 42;
+  std::string filter;  // optional: restrict workloads/datasets
+};
+
+inline size_t ParseSizeWithSuffix(const char* s) {
+  char* end = nullptr;
+  double v = strtod(s, &end);
+  if (end != nullptr) {
+    if (*end == 'k' || *end == 'K') v *= 1e3;
+    if (*end == 'm' || *end == 'M') v *= 1e6;
+    if (*end == 'g' || *end == 'G') v *= 1e9;
+  }
+  return static_cast<size_t>(v);
+}
+
+inline BenchConfig ParseBenchConfig(int argc, char** argv) {
+  BenchConfig cfg;
+  if (const char* env = getenv("HOT_BENCH_KEYS")) {
+    cfg.keys = ParseSizeWithSuffix(env);
+  }
+  if (const char* env = getenv("HOT_BENCH_OPS")) {
+    cfg.ops = ParseSizeWithSuffix(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (strncmp(a, "--keys=", 7) == 0) cfg.keys = ParseSizeWithSuffix(a + 7);
+    else if (strncmp(a, "--ops=", 6) == 0) cfg.ops = ParseSizeWithSuffix(a + 6);
+    else if (strncmp(a, "--threads=", 10) == 0) cfg.threads = atoi(a + 10);
+    else if (strncmp(a, "--seed=", 7) == 0) cfg.seed = strtoull(a + 7, nullptr, 10);
+    else if (strncmp(a, "--workload=", 11) == 0) cfg.filter = a + 11;
+    else if (strcmp(a, "--help") == 0) {
+      printf("flags: --keys=N --ops=N --threads=N --seed=N --workload=F\n");
+      exit(0);
+    }
+  }
+  return cfg;
+}
+
+// Minimal fixed-width table: header row + data rows, printed as the bench
+// runs so partial output is still useful.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, unsigned width = 12)
+      : columns_(std::move(columns)), width_(width) {}
+
+  void PrintHeader() const {
+    for (const auto& c : columns_) printf("%-*s", width_, c.c_str());
+    printf("\n");
+    for (size_t i = 0; i < columns_.size() * width_; ++i) printf("-");
+    printf("\n");
+    fflush(stdout);
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) printf("%-*s", width_, c.c_str());
+    printf("\n");
+    fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  unsigned width_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtBytes(size_t bytes) {
+  char buf[64];
+  if (bytes >= 1ULL << 30) {
+    snprintf(buf, sizeof(buf), "%.2fGB", static_cast<double>(bytes) / (1ULL << 30));
+  } else if (bytes >= 1ULL << 20) {
+    snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(bytes) / (1ULL << 20));
+  } else {
+    snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace ycsb
+}  // namespace hot
+
+#endif  // HOT_YCSB_REPORT_H_

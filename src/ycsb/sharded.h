@@ -1,0 +1,78 @@
+// Hash-sharded concurrency wrapper used as the stand-in for the baselines'
+// synchronized variants in the scalability experiment (Fig. 10).
+//
+// The paper compares synchronized HOT against synchronized ART (ROWEX) and
+// Masstree (OCC).  This repository implements the paper's contribution —
+// HOT's ROWEX protocol (§5) — in full (hot/rowex.h); for the baselines we
+// substitute 64-way hash sharding with per-shard spinlocks over the
+// single-threaded implementations, which provides correct concurrent point
+// operations with low contention (DESIGN.md "Substitutions": this machine
+// exposes one physical core, so none of the protocols can exhibit real
+// parallel speedup here anyway).  Range scans are not supported by this
+// wrapper (Fig. 10 measures inserts and lookups only).
+
+#ifndef HOT_YCSB_SHARDED_H_
+#define HOT_YCSB_SHARDED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/key.h"
+#include "common/locks.h"
+
+namespace hot {
+namespace ycsb {
+
+template <typename Index, unsigned kShards = 64>
+class ShardedIndex {
+ public:
+  template <typename... Args>
+  explicit ShardedIndex(Args&&... args) {
+    for (unsigned s = 0; s < kShards; ++s) {
+      shards_[s] = std::make_unique<Index>(args...);
+    }
+  }
+
+  bool Insert(uint64_t value, KeyRef key) {
+    unsigned s = ShardOf(key);
+    LockGuard guard(&locks_[s]);
+    return shards_[s]->Insert(value);
+  }
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    unsigned s = ShardOf(key);
+    LockGuard guard(&locks_[s]);
+    return shards_[s]->Lookup(key);
+  }
+
+  bool Remove(KeyRef key) {
+    unsigned s = ShardOf(key);
+    LockGuard guard(&locks_[s]);
+    return shards_[s]->Remove(key);
+  }
+
+ private:
+  struct LockGuard {
+    explicit LockGuard(RowexLockWord* lock) : lock_(lock) { lock_->Lock(); }
+    ~LockGuard() { lock_->Unlock(); }
+    RowexLockWord* lock_;
+  };
+
+  static unsigned ShardOf(KeyRef key) {
+    // FNV-1a over the key bytes.
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t i = 0; i < key.size(); ++i) {
+      h = (h ^ key[i]) * 1099511628211ULL;
+    }
+    return static_cast<unsigned>(h % kShards);
+  }
+
+  std::unique_ptr<Index> shards_[kShards];
+  mutable RowexLockWord locks_[kShards];
+};
+
+}  // namespace ycsb
+}  // namespace hot
+
+#endif  // HOT_YCSB_SHARDED_H_

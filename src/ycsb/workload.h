@@ -1,0 +1,199 @@
+// YCSB core workloads (Cooper et al., SoCC 2010) in the index-microbench
+// style of Zhang et al. that the paper's evaluation builds on (§6.1).
+//
+// Each benchmark configuration = (workload in A..F, data set, request
+// distribution).  A run has two phases:
+//   load phase:        insert `load_n` keys in random order,
+//   transaction phase: `txn_ops` operations drawn from the workload mix.
+//
+// Workload mixes (YCSB core):
+//   A  50% read, 50% update          B  95% read, 5% update
+//   C  100% read                     D  95% latest-read, 5% insert
+//   E  95% scan(<=100), 5% insert    F  50% read, 50% read-modify-write
+
+#ifndef HOT_YCSB_WORKLOAD_H_
+#define HOT_YCSB_WORKLOAD_H_
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ycsb/datasets.h"
+
+namespace hot {
+namespace ycsb {
+
+enum class Distribution { kUniform, kZipfian, kLatest };
+
+inline const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kZipfian:
+      return "zipf";
+    case Distribution::kLatest:
+      return "latest";
+  }
+  return "?";
+}
+
+struct WorkloadSpec {
+  char name;
+  double read = 0, update = 0, insert = 0, scan = 0, rmw = 0;
+  Distribution dist = Distribution::kUniform;
+  unsigned max_scan_len = 100;
+};
+
+// The six YCSB core workloads.  Workload D always uses the latest
+// distribution for its reads (per YCSB); A/B/C/E/F take the requested one.
+inline WorkloadSpec YcsbWorkload(char w, Distribution dist) {
+  WorkloadSpec s;
+  s.name = w;
+  s.dist = dist;
+  switch (w) {
+    case 'A':
+      s.read = 0.5;
+      s.update = 0.5;
+      break;
+    case 'B':
+      s.read = 0.95;
+      s.update = 0.05;
+      break;
+    case 'C':
+      s.read = 1.0;
+      break;
+    case 'D':
+      s.read = 0.95;
+      s.insert = 0.05;
+      s.dist = Distribution::kLatest;
+      break;
+    case 'E':
+      s.scan = 0.95;
+      s.insert = 0.05;
+      break;
+    case 'F':
+      s.read = 0.5;
+      s.rmw = 0.5;
+      break;
+    default:
+      assert(false && "unknown workload");
+  }
+  return s;
+}
+
+struct RunResult {
+  size_t load_ops = 0;
+  double load_seconds = 0;
+  size_t txn_ops = 0;
+  double txn_seconds = 0;
+  size_t memory_bytes = 0;
+  size_t failed_ops = 0;  // lookups of missing keys etc. (should be 0)
+
+  double LoadMops() const {
+    return load_seconds > 0 ? static_cast<double>(load_ops) / load_seconds /
+                                  1e6
+                            : 0;
+  }
+  double TxnMops() const {
+    return txn_seconds > 0 ? static_cast<double>(txn_ops) / txn_seconds / 1e6
+                           : 0;
+  }
+};
+
+// Shuffled record order for the load phase (the paper loads keys in random
+// order); deterministic in `seed`.
+inline std::vector<uint32_t> LoadOrder(size_t n, uint64_t seed) {
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  SplitMix64 rng(seed);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  return order;
+}
+
+// Runs load + transaction phase.  The data set must hold at least
+// load_n + (expected inserts) records; insert operations consume records
+// load_n, load_n+1, ... in order.
+template <typename Adapter>
+RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
+                       size_t txn_ops, const WorkloadSpec& spec,
+                       uint64_t seed = 7) {
+  using Clock = std::chrono::steady_clock;
+  RunResult result;
+
+  // --- load phase -----------------------------------------------------------
+  std::vector<uint32_t> order = LoadOrder(load_n, seed);
+  auto t0 = Clock::now();
+  for (uint32_t i : order) {
+    if (!adapter.InsertRecord(i)) ++result.failed_ops;
+  }
+  auto t1 = Clock::now();
+  result.load_ops = load_n;
+  result.load_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.memory_bytes = adapter.MemoryBytes();
+
+  // --- transaction phase ------------------------------------------------------
+  SplitMix64 rng(seed ^ 0xdeadbeef);
+  ZipfianGenerator zipf(load_n, 0.99, seed + 1);
+  LatestGenerator latest(load_n, seed + 2);
+  size_t next_insert = load_n;
+  size_t inserted = load_n;
+  const size_t capacity = ds.size();
+
+  auto pick_record = [&]() -> size_t {
+    switch (spec.dist) {
+      case Distribution::kUniform:
+        return rng.NextBounded(inserted);
+      case Distribution::kZipfian: {
+        size_t r = zipf.Next();
+        return r < inserted ? r : rng.NextBounded(inserted);
+      }
+      case Distribution::kLatest:
+        return latest.Next(inserted);
+    }
+    return 0;
+  };
+
+  auto t2 = Clock::now();
+  for (size_t op = 0; op < txn_ops; ++op) {
+    double p = rng.NextDouble();
+    if (p < spec.read) {
+      if (!adapter.LookupRecord(pick_record())) ++result.failed_ops;
+    } else if (p < spec.read + spec.update) {
+      if (!adapter.UpdateRecord(pick_record(), op)) ++result.failed_ops;
+    } else if (p < spec.read + spec.update + spec.rmw) {
+      size_t r = pick_record();
+      if (!adapter.LookupRecord(r)) ++result.failed_ops;
+      adapter.UpdateRecord(r, op);
+    } else if (p < spec.read + spec.update + spec.rmw + spec.scan) {
+      size_t len = 1 + rng.NextBounded(spec.max_scan_len);
+      adapter.ScanRecord(pick_record(), len);
+    } else {
+      // insert
+      if (next_insert < capacity) {
+        if (!adapter.InsertRecord(static_cast<uint32_t>(next_insert))) {
+          ++result.failed_ops;
+        }
+        ++next_insert;
+        ++inserted;
+      } else {
+        // Ran out of pre-generated records: fall back to a read so the
+        // op count stays comparable.
+        adapter.LookupRecord(pick_record());
+      }
+    }
+  }
+  auto t3 = Clock::now();
+  result.txn_ops = txn_ops;
+  result.txn_seconds = std::chrono::duration<double>(t3 - t2).count();
+  return result;
+}
+
+}  // namespace ycsb
+}  // namespace hot
+
+#endif  // HOT_YCSB_WORKLOAD_H_

@@ -1,0 +1,170 @@
+// ART-specific tests: adaptive node growth/shrink transitions
+// (Node4 -> 16 -> 48 -> 256 and back), path compression including prefixes
+// longer than the inline snippet, and child-ordering primitives.
+
+#include "art/art.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/rng.h"
+
+namespace hot {
+namespace {
+
+using U64Art = ArtTree<U64KeyExtractor>;
+
+TEST(ArtNode, ChildPrimitivesSortedOrder) {
+  MemoryCounter counter;
+  CountingAllocator alloc(&counter);
+  art::ArtNodeHeader* n = art::ArtAllocNode(alloc, art::ArtNodeType::kNode4);
+  art::ArtAddChild(n, 30, art::ArtEntry::MakeTid(3));
+  art::ArtAddChild(n, 10, art::ArtEntry::MakeTid(1));
+  art::ArtAddChild(n, 20, art::ArtEntry::MakeTid(2));
+  std::vector<unsigned> seen;
+  art::ArtForEachChild(n, [&](uint8_t byte, uint64_t) {
+    seen.push_back(byte);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<unsigned>{10, 20, 30}));
+  EXPECT_NE(art::ArtFindChild(n, 20), nullptr);
+  EXPECT_EQ(art::ArtFindChild(n, 25), nullptr);
+  unsigned byte;
+  EXPECT_EQ(art::ArtLowerBoundChild(n, 15, &byte), art::ArtEntry::MakeTid(2));
+  EXPECT_EQ(byte, 20u);
+  art::ArtRemoveChild(n, 20);
+  EXPECT_EQ(art::ArtFindChild(n, 20), nullptr);
+  art::ArtFreeNode(alloc, n);
+  EXPECT_EQ(counter.live_bytes(), 0u);
+}
+
+TEST(ArtNode, GrowThroughAllLayouts) {
+  MemoryCounter counter;
+  CountingAllocator alloc(&counter);
+  art::ArtNodeHeader* n = art::ArtAllocNode(alloc, art::ArtNodeType::kNode4);
+  for (unsigned c = 0; c < 256; ++c) {
+    if (art::ArtIsFull(n)) n = art::ArtGrow(alloc, n);
+    art::ArtAddChild(n, static_cast<uint8_t>(c), art::ArtEntry::MakeTid(c));
+  }
+  EXPECT_EQ(n->type, art::ArtNodeType::kNode256);
+  EXPECT_EQ(n->Count(), 256u);
+  for (unsigned c = 0; c < 256; ++c) {
+    uint64_t* slot = art::ArtFindChild(n, static_cast<uint8_t>(c));
+    ASSERT_NE(slot, nullptr) << c;
+    EXPECT_EQ(*slot, art::ArtEntry::MakeTid(c));
+  }
+  // Shrink back down: with 6 children left, the node is a Node16 (Node4
+  // needs <= 3 to trigger), then removing three more reaches Node4.
+  for (unsigned c = 0; c < 250; ++c) {
+    art::ArtRemoveChild(n, static_cast<uint8_t>(c));
+    n = art::ArtMaybeShrink(alloc, n);
+  }
+  EXPECT_EQ(n->type, art::ArtNodeType::kNode16);
+  for (unsigned c = 250; c < 253; ++c) {
+    art::ArtRemoveChild(n, static_cast<uint8_t>(c));
+    n = art::ArtMaybeShrink(alloc, n);
+  }
+  EXPECT_EQ(n->type, art::ArtNodeType::kNode4);
+  for (unsigned c = 253; c < 256; ++c) {
+    uint64_t* slot = art::ArtFindChild(n, static_cast<uint8_t>(c));
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(*slot, art::ArtEntry::MakeTid(c));
+  }
+  art::ArtFreeNode(alloc, n);
+  EXPECT_EQ(counter.live_bytes(), 0u);
+}
+
+TEST(Art, DensePromotesLargeNodes) {
+  // 256 consecutive single-byte-differing keys force a Node256 at the top.
+  U64Art art;
+  for (uint64_t v = 0; v < 256; ++v) {
+    ASSERT_TRUE(art.Insert(v << 8 | 1));
+  }
+  for (uint64_t v = 0; v < 256; ++v) {
+    EXPECT_TRUE(art.Lookup(U64Key(v << 8 | 1).ref()).has_value());
+  }
+}
+
+TEST(Art, LongCompressedPaths) {
+  // Prefixes longer than the 10-byte inline snippet exercise the hybrid
+  // path-compression fallback (leaf reloads).
+  std::vector<std::string> table;
+  std::string deep(60, 'q');
+  for (int i = 0; i < 50; ++i) {
+    table.push_back(deep + "-suffix-" + std::to_string(i));
+  }
+  // Also a key that diverges in the middle of the long prefix.
+  std::string div = deep.substr(0, 30) + "X-divergent";
+  table.push_back(div);
+  ArtTree<StringTableExtractor> art{StringTableExtractor(&table)};
+  for (size_t i = 0; i < table.size(); ++i) ASSERT_TRUE(art.Insert(i));
+  for (size_t i = 0; i < table.size(); ++i) {
+    ASSERT_TRUE(art.Lookup(TerminatedView(table[i])).has_value()) << table[i];
+  }
+  // Negative probes sharing the long prefix.
+  EXPECT_FALSE(art.Lookup(TerminatedView(deep)).has_value());
+  EXPECT_FALSE(
+      art.Lookup(TerminatedView(deep + "-suffix-99")).has_value());
+  // Remove the divergent key: the prefix split must merge back correctly.
+  ASSERT_TRUE(art.Remove(TerminatedView(div)));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        art.Lookup(TerminatedView(table[i])).has_value());
+  }
+}
+
+TEST(Art, MemoryReleasedOnClear) {
+  MemoryCounter counter;
+  {
+    U64Art art{U64KeyExtractor(), &counter};
+    SplitMix64 rng(5);
+    for (int i = 0; i < 50000; ++i) art.Insert(rng.Next() >> 1);
+    EXPECT_GT(counter.live_bytes(), 0u);
+    art.Clear();
+    EXPECT_EQ(counter.live_bytes(), 0u);
+  }
+}
+
+TEST(Art, RemoveShrinksAndCollapses) {
+  MemoryCounter counter;
+  U64Art art{U64KeyExtractor(), &counter};
+  std::set<uint64_t> oracle;
+  SplitMix64 rng(9);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t v = rng.NextBounded(60000);
+    art.Insert(v);
+    oracle.insert(v);
+  }
+  size_t peak = counter.live_bytes();
+  // Remove 90%.
+  size_t removed = 0;
+  for (auto it = oracle.begin(); it != oracle.end();) {
+    if (removed % 10 != 9) {
+      EXPECT_TRUE(art.Remove(U64Key(*it).ref()));
+      it = oracle.erase(it);
+    } else {
+      ++it;
+    }
+    ++removed;
+  }
+  EXPECT_LT(counter.live_bytes(), peak / 2);
+  for (uint64_t v : oracle) {
+    EXPECT_TRUE(art.Lookup(U64Key(v).ref()).has_value()) << v;
+  }
+}
+
+TEST(Art, DepthIsBoundedByKeyLength) {
+  U64Art art;
+  SplitMix64 rng(13);
+  for (int i = 0; i < 20000; ++i) art.Insert(rng.Next() >> 1);
+  unsigned max_depth = 0;
+  art.ForEachLeaf([&](unsigned d, uint64_t) { max_depth = std::max(max_depth, d); });
+  EXPECT_LE(max_depth, 8u);  // span 8 over 8-byte keys
+}
+
+}  // namespace
+}  // namespace hot

@@ -1,0 +1,150 @@
+// B+-tree-specific tests: split/merge/borrow mechanics, height behaviour,
+// the composite-key tie-breaking for long string keys sharing 8-byte
+// prefixes, and leaf chaining for scans.
+
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/rng.h"
+
+namespace hot {
+namespace {
+
+using U64BTree = BTree<U64KeyExtractor>;
+
+TEST(BTree, HeightGrowsLogarithmically) {
+  U64BTree tree;
+  EXPECT_EQ(tree.Height(), 0u);
+  tree.Insert(1);
+  EXPECT_EQ(tree.Height(), 1u);
+  // 16 slots per leaf: 17 keys force the first split.
+  for (uint64_t v = 2; v <= 17; ++v) tree.Insert(v);
+  EXPECT_EQ(tree.Height(), 2u);
+  for (uint64_t v = 18; v <= 100000; ++v) tree.Insert(v);
+  // fanout 16, half-full worst case: height stays small.
+  EXPECT_LE(tree.Height(), 6u);
+  for (uint64_t v = 1; v <= 100000; ++v) {
+    ASSERT_TRUE(tree.Lookup(U64Key(v).ref()).has_value()) << v;
+  }
+}
+
+TEST(BTree, DeleteTriggersMergesDownToEmpty) {
+  U64BTree tree;
+  for (uint64_t v = 0; v < 50000; ++v) tree.Insert(v * 3);
+  unsigned peak_height = tree.Height();
+  SplitMix64 rng(3);
+  std::vector<uint64_t> keys;
+  for (uint64_t v = 0; v < 50000; ++v) keys.push_back(v * 3);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+  for (uint64_t v : keys) ASSERT_TRUE(tree.Remove(U64Key(v).ref())) << v;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_LE(tree.Height(), peak_height);
+  // Reusable afterwards.
+  EXPECT_TRUE(tree.Insert(42));
+  EXPECT_TRUE(tree.Lookup(U64Key(42).ref()).has_value());
+}
+
+TEST(BTree, SharedPrefixStringsTieBreakViaTid) {
+  // Keys identical in their first 8 bytes: the composite word collides and
+  // correctness rests on the tid-resolved comparison.
+  std::vector<std::string> table;
+  for (int i = 0; i < 2000; ++i) {
+    table.push_back("sameprefix-" + std::to_string(i));
+  }
+  BTree<StringTableExtractor> tree{StringTableExtractor(&table)};
+  for (size_t i = 0; i < table.size(); ++i) ASSERT_TRUE(tree.Insert(i));
+  for (size_t i = 0; i < table.size(); ++i) {
+    auto got = tree.Lookup(TerminatedView(table[i]));
+    ASSERT_TRUE(got.has_value()) << table[i];
+    EXPECT_EQ(*got, i);
+  }
+  EXPECT_FALSE(tree.Lookup(TerminatedView(std::string("sameprefix-"))).has_value());
+  // Duplicate insert must be rejected despite word collision.
+  table.push_back(table[5]);
+  EXPECT_FALSE(tree.Insert(table.size() - 1));
+  table.pop_back();
+  // Scans stay lexicographic ("sameprefix-10" < "sameprefix-2").
+  std::vector<std::string> got;
+  tree.ScanFrom(TerminatedView(std::string("sameprefix-1")), 5,
+                [&](uint64_t tid) { got.push_back(table[tid]); });
+  std::vector<std::string> sorted = table;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::string> want(
+      sorted.begin() + (std::lower_bound(sorted.begin(), sorted.end(),
+                                         "sameprefix-1") -
+                        sorted.begin()),
+      sorted.end());
+  want.resize(5);
+  EXPECT_EQ(got, want);
+}
+
+TEST(BTree, LeafChainScansCrossNodes) {
+  U64BTree tree;
+  for (uint64_t v = 0; v < 1000; ++v) tree.Insert(v);
+  std::vector<uint64_t> got;
+  tree.ScanFrom(U64Key(500).ref(), 300, [&](uint64_t v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 300u);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], 500 + i);
+}
+
+TEST(BTree, MemoryConstantAcrossKeyTypes) {
+  // The paper's observation: BT memory is the same for all data sets
+  // because slots are fixed 16 bytes.
+  MemoryCounter c1, c2;
+  U64BTree ints{U64KeyExtractor(), &c1};
+  std::vector<std::string> table;
+  for (int i = 0; i < 20000; ++i) {
+    table.push_back("http://very.long.url.example.org/with/many/segments/" +
+                    std::to_string(i));
+  }
+  BTree<StringTableExtractor> strings{StringTableExtractor(&table), &c2};
+  SplitMix64 rng(7);
+  for (int i = 0; i < 20000; ++i) ints.Insert(rng.Next() >> 1);
+  // Shuffle the string insert order so both trees see random arrival and
+  // comparable leaf fill factors.
+  std::vector<uint32_t> order(table.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  for (uint32_t i : order) strings.Insert(i);
+  double ratio = static_cast<double>(c1.live_bytes()) /
+                 static_cast<double>(c2.live_bytes());
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(BTree, DifferentialDenseChurn) {
+  U64BTree tree;
+  std::set<uint64_t> oracle;
+  SplitMix64 rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = rng.NextBounded(5000);
+    switch (rng.NextBounded(3)) {
+      case 0:
+        ASSERT_EQ(tree.Insert(v), oracle.insert(v).second);
+        break;
+      case 1:
+        ASSERT_EQ(tree.Lookup(U64Key(v).ref()).has_value(),
+                  oracle.count(v) > 0);
+        break;
+      case 2:
+        ASSERT_EQ(tree.Remove(U64Key(v).ref()), oracle.erase(v) > 0);
+        break;
+    }
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+}
+
+}  // namespace
+}  // namespace hot

@@ -1,0 +1,156 @@
+// Iterator semantics: Begin/Last, forward and reverse traversal,
+// LowerBound/UpperBound, and descending range scans — all against
+// std::set oracles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/rng.h"
+#include "hot/trie.h"
+
+namespace hot {
+namespace {
+
+using U64Hot = HotTrie<U64KeyExtractor>;
+
+class IteratorTest : public ::testing::Test {
+ protected:
+  void Fill(size_t n, uint64_t seed) {
+    SplitMix64 rng(seed);
+    while (oracle_.size() < n) {
+      uint64_t v = rng.NextBounded(1u << 24);
+      if (oracle_.insert(v).second) trie_.Insert(v);
+    }
+  }
+
+  U64Hot trie_;
+  std::set<uint64_t> oracle_;
+};
+
+TEST_F(IteratorTest, EmptyTrieIterators) {
+  EXPECT_FALSE(trie_.Begin().valid());
+  EXPECT_FALSE(trie_.Last().valid());
+  EXPECT_FALSE(trie_.LowerBound(U64Key(0).ref()).valid());
+  EXPECT_FALSE(trie_.UpperBound(U64Key(0).ref()).valid());
+}
+
+TEST_F(IteratorTest, SingleElement) {
+  trie_.Insert(42);
+  auto it = trie_.Begin();
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.value(), 42u);
+  it.Next();
+  EXPECT_FALSE(it.valid());
+  it = trie_.Last();
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.value(), 42u);
+  it.Prev();
+  EXPECT_FALSE(it.valid());
+}
+
+TEST_F(IteratorTest, ForwardEqualsSortedOracle) {
+  Fill(20000, 1);
+  auto oit = oracle_.begin();
+  for (auto it = trie_.Begin(); it.valid(); it.Next(), ++oit) {
+    ASSERT_NE(oit, oracle_.end());
+    EXPECT_EQ(it.value(), *oit);
+  }
+  EXPECT_EQ(oit, oracle_.end());
+}
+
+TEST_F(IteratorTest, ReverseEqualsReverseSortedOracle) {
+  Fill(20000, 2);
+  auto oit = oracle_.rbegin();
+  for (auto it = trie_.Last(); it.valid(); it.Prev(), ++oit) {
+    ASSERT_NE(oit, oracle_.rend());
+    EXPECT_EQ(it.value(), *oit);
+  }
+  EXPECT_EQ(oit, oracle_.rend());
+}
+
+TEST_F(IteratorTest, PrevUndoesNext) {
+  Fill(5000, 3);
+  auto it = trie_.Begin();
+  SplitMix64 rng(5);
+  // Random walk: Next/Prev sequences stay consistent with a mirror index.
+  std::vector<uint64_t> sorted(oracle_.begin(), oracle_.end());
+  size_t pos = 0;
+  for (int step = 0; step < 10000 && it.valid(); ++step) {
+    ASSERT_EQ(it.value(), sorted[pos]);
+    if (rng.NextBounded(2) == 0 && pos + 1 < sorted.size()) {
+      it.Next();
+      ++pos;
+    } else if (pos > 0) {
+      it.Prev();
+      --pos;
+    } else {
+      it.Next();
+      ++pos;
+    }
+  }
+}
+
+TEST_F(IteratorTest, UpperBoundMatchesOracle) {
+  Fill(10000, 4);
+  SplitMix64 rng(7);
+  for (int probe = 0; probe < 2000; ++probe) {
+    uint64_t start = rng.NextBounded(1u << 24);
+    auto it = trie_.UpperBound(U64Key(start).ref());
+    auto oit = oracle_.upper_bound(start);
+    if (oit == oracle_.end()) {
+      EXPECT_FALSE(it.valid()) << start;
+    } else {
+      ASSERT_TRUE(it.valid()) << start;
+      EXPECT_EQ(it.value(), *oit) << start;
+    }
+  }
+  // Probing exact members: upper bound is the successor.
+  for (uint64_t v : {*oracle_.begin(), *oracle_.rbegin()}) {
+    auto it = trie_.UpperBound(U64Key(v).ref());
+    auto oit = oracle_.upper_bound(v);
+    EXPECT_EQ(it.valid(), oit != oracle_.end());
+    if (it.valid()) EXPECT_EQ(it.value(), *oit);
+  }
+}
+
+TEST_F(IteratorTest, ReverseScanMatchesOracle) {
+  Fill(10000, 8);
+  SplitMix64 rng(9);
+  for (int probe = 0; probe < 500; ++probe) {
+    uint64_t start = rng.NextBounded(1u << 24);
+    std::vector<uint64_t> got;
+    trie_.ScanReverseFrom(U64Key(start).ref(), 50,
+                          [&](uint64_t v) { got.push_back(v); });
+    std::vector<uint64_t> want;
+    for (auto oit = oracle_.upper_bound(start);
+         oit != oracle_.begin() && want.size() < 50;) {
+      --oit;
+      want.push_back(*oit);
+    }
+    ASSERT_EQ(got, want) << "start=" << start;
+  }
+  // From beyond the maximum: descending from the maximum.
+  std::vector<uint64_t> got;
+  trie_.ScanReverseFrom(U64Key(~0ULL >> 1).ref(), 3,
+                        [&](uint64_t v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], *oracle_.rbegin());
+}
+
+TEST_F(IteratorTest, StringReverseScans) {
+  std::vector<std::string> table = {"apple", "banana", "cherry", "date",
+                                    "elderberry", "fig", "grape"};
+  HotTrie<StringTableExtractor> dict{StringTableExtractor(&table)};
+  for (size_t i = 0; i < table.size(); ++i) dict.Insert(i);
+  std::vector<std::string> got;
+  dict.ScanReverseFrom(TerminatedView(std::string("dandelion")), 10,
+                       [&](uint64_t tid) { got.push_back(table[tid]); });
+  EXPECT_EQ(got, (std::vector<std::string>{"cherry", "banana", "apple"}));
+}
+
+}  // namespace
+}  // namespace hot

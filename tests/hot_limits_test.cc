@@ -1,0 +1,86 @@
+// API-boundary tests: the documented limits (256-byte keys, 63-bit values)
+// are enforced with real checks independent of the build type, and the
+// structures behave sensibly right at the limits.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/extractors.h"
+#include "hot/rowex.h"
+#include "hot/trie.h"
+
+namespace hot {
+namespace {
+
+TEST(Limits, OversizedKeysAreRejected) {
+  std::vector<std::string> table = {std::string(300, 'k')};
+  HotTrie<StringTableExtractor> trie{StringTableExtractor(&table)};
+  EXPECT_THROW(trie.Insert(0), std::invalid_argument);
+  EXPECT_TRUE(trie.empty());
+
+  RowexHotTrie<StringTableExtractor> rowex{StringTableExtractor(&table)};
+  EXPECT_THROW(rowex.Insert(0), std::invalid_argument);
+  EXPECT_TRUE(rowex.empty());
+}
+
+TEST(Limits, MaxLengthKeyWorks) {
+  // Keys of exactly 256 bytes (including the terminator) are supported.
+  std::vector<std::string> table;
+  for (int i = 0; i < 100; ++i) {
+    std::string s(255, 'a' + (i % 16));
+    s[200] = static_cast<char>('0' + i % 10);
+    s[100] = static_cast<char>('A' + i / 10);
+    table.push_back(s);
+  }
+  // Deduplicate (the construction can collide).
+  std::sort(table.begin(), table.end());
+  table.erase(std::unique(table.begin(), table.end()), table.end());
+  HotTrie<StringTableExtractor> trie{StringTableExtractor(&table)};
+  for (size_t i = 0; i < table.size(); ++i) {
+    ASSERT_TRUE(trie.Insert(i)) << i;
+  }
+  for (const auto& s : table) {
+    EXPECT_TRUE(trie.Lookup(TerminatedView(s)).has_value());
+  }
+  std::string err;
+  EXPECT_TRUE(trie.Validate(&err)) << err;
+}
+
+TEST(Limits, WideValuesAreRejected) {
+  HotTrie<U64KeyExtractor> trie;
+  EXPECT_THROW(trie.Insert(1ULL << 63), std::invalid_argument);
+  EXPECT_TRUE(trie.empty());
+  RowexHotTrie<U64KeyExtractor> rowex;
+  EXPECT_THROW(rowex.Insert(~0ULL), std::invalid_argument);
+}
+
+TEST(Limits, MaxValuePayloadWorks) {
+  HotTrie<U64KeyExtractor> trie;
+  uint64_t max_payload = (1ULL << 63) - 1;
+  EXPECT_TRUE(trie.Insert(max_payload));
+  EXPECT_TRUE(trie.Insert(0));
+  EXPECT_EQ(trie.Lookup(U64Key(max_payload).ref()).value(), max_payload);
+  EXPECT_EQ(trie.Lookup(U64Key(0).ref()).value(), 0u);
+}
+
+TEST(Limits, LongLookupKeysAreSafe) {
+  // Lookups and scans with over-long keys cannot corrupt anything: they
+  // simply do not match (stored keys are all shorter).
+  std::vector<std::string> table = {"short"};
+  HotTrie<StringTableExtractor> trie{StringTableExtractor(&table)};
+  ASSERT_TRUE(trie.Insert(0));
+  std::string huge(10000, 'z');
+  EXPECT_FALSE(trie.Lookup(TerminatedView(huge)).has_value());
+  size_t seen = 0;
+  trie.ScanFrom(TerminatedView(huge), 10, [&](uint64_t) { ++seen; });
+  EXPECT_EQ(seen, 0u);  // "zzz..." sorts after "short"
+  std::string tiny = "a";
+  trie.ScanFrom(TerminatedView(tiny), 10, [&](uint64_t) { ++seen; });
+  EXPECT_EQ(seen, 1u);
+}
+
+}  // namespace
+}  // namespace hot

@@ -1,0 +1,249 @@
+// Unit tests for the logical node operations (paper §3.2 / §4.4): sparse
+// partial key recoding, affected ranges, insertion, splits, pull-up
+// support, and deletion.
+
+#include "hot/logical_node.h"
+
+#include <gtest/gtest.h>
+
+namespace hot {
+namespace {
+
+// A node in the spirit of Fig. 5: bits {3,4,6,8,9}, seven entries.  The
+// local Patricia trie (rank r0=bit3 ... r4=bit9):
+//   r0=0: r1(bit4)=0 -> E0            sparse 00000
+//         r1=1: r2(bit6)=0 -> E1      sparse 01000
+//                r2=1      -> E2      sparse 01100
+//   r0=1: r3(bit8)=0: r4(bit9)=0 ->E3 sparse 10000
+//                     r4=1       ->E4 sparse 10001
+//         r3=1: r4'(bit9)=0 -> E5     sparse 10010   (bit 9 reused)
+//                r4'=1      -> E6     sparse 10011
+LogicalNode Fig5Node() {
+  LogicalNode ln;
+  ln.height = 1;
+  ln.count = 7;
+  ln.num_bits = 5;
+  uint16_t bits[] = {3, 4, 6, 8, 9};
+  for (int i = 0; i < 5; ++i) ln.bits[i] = bits[i];
+  uint32_t sparse5[] = {0b00000, 0b01000, 0b01100, 0b10000,
+                        0b10001, 0b10010, 0b10011};
+  for (int i = 0; i < 7; ++i) {
+    ln.sparse[i] = sparse5[i] << 27;
+    ln.entries[i] = HotEntry::MakeTid(100 + i);
+  }
+  return ln;
+}
+
+TEST(LogicalNode, RankBitAndPrefixMask) {
+  EXPECT_EQ(LogicalNode::RankBit(0), 0x80000000u);
+  EXPECT_EQ(LogicalNode::RankBit(31), 1u);
+  EXPECT_EQ(LogicalNode::PrefixMask(0), 0u);
+  EXPECT_EQ(LogicalNode::PrefixMask(1), 0x80000000u);
+  EXPECT_EQ(LogicalNode::PrefixMask(3), 0xE0000000u);
+}
+
+TEST(LogicalNode, BitRank) {
+  LogicalNode ln = Fig5Node();
+  bool exists;
+  EXPECT_EQ(BitRank(ln, 3, &exists), 0u);
+  EXPECT_TRUE(exists);
+  EXPECT_EQ(BitRank(ln, 9, &exists), 4u);
+  EXPECT_TRUE(exists);
+  EXPECT_EQ(BitRank(ln, 5, &exists), 2u);
+  EXPECT_FALSE(exists);
+  EXPECT_EQ(BitRank(ln, 0, &exists), 0u);
+  EXPECT_FALSE(exists);
+  EXPECT_EQ(BitRank(ln, 100, &exists), 5u);
+  EXPECT_FALSE(exists);
+}
+
+TEST(LogicalNode, AddBitRecodesWithPdepSemantics) {
+  LogicalNode ln = Fig5Node();
+  // Add bit 7 (paper §4.4's example): rank 3, between bits 6 and 8.
+  AddBitAtRank(ln, 3, 7);
+  EXPECT_EQ(ln.num_bits, 6u);
+  uint16_t expect_bits[] = {3, 4, 6, 7, 8, 9};
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(ln.bits[i], expect_bits[i]);
+  // A zero is inserted at the new rank 3 (old ranks 3,4 shift to 4,5).
+  uint32_t expect_sparse6[] = {0b000000, 0b010000, 0b011000, 0b100000,
+                               0b100001, 0b100010, 0b100011};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(ln.sparse[i], expect_sparse6[i] << 26) << "entry " << i;
+  }
+}
+
+TEST(LogicalNode, AffectedRangeAroundCandidate) {
+  LogicalNode ln = Fig5Node();
+  // Mismatch at rank 2 (bit 6) with candidate 4 (sparse 10001): prefix is
+  // ranks {0,1} = "10", shared by entries 3..6.
+  AffectedRange r = FindAffectedRange(ln, 4, 2);
+  EXPECT_EQ(r.first, 3u);
+  EXPECT_EQ(r.last, 6u);
+  // Mismatch at rank 0: every entry shares the empty prefix.
+  r = FindAffectedRange(ln, 2, 0);
+  EXPECT_EQ(r.first, 0u);
+  EXPECT_EQ(r.last, 6u);
+  // Mismatch below every bit of entry 6's path.
+  r = FindAffectedRange(ln, 6, 5);
+  EXPECT_EQ(r.first, 6u);
+  EXPECT_EQ(r.last, 6u);
+  // Candidate 1 (01000) at rank 2: prefix "01" shared by entries 1,2.
+  r = FindAffectedRange(ln, 1, 2);
+  EXPECT_EQ(r.first, 1u);
+  EXPECT_EQ(r.last, 2u);
+}
+
+TEST(LogicalNode, InsertWithNewBitOneSide) {
+  LogicalNode ln = Fig5Node();
+  // New key diverges from entry 4's subtree at new bit 7 with key bit 1:
+  // it lands after the affected range [3,6].
+  unsigned pos = LogicalInsert(ln, 4, 7, 1, HotEntry::MakeTid(999));
+  EXPECT_EQ(ln.count, 8u);
+  EXPECT_EQ(ln.num_bits, 6u);
+  EXPECT_EQ(pos, 7u);
+  EXPECT_EQ(ln.entries[7], HotEntry::MakeTid(999));
+  // New sparse key: candidate's prefix above rank 3 (100) plus the rank-3
+  // bit -> 100100.
+  EXPECT_EQ(ln.sparse[7], 0b100100u << 26);
+  // Strictly increasing overall.
+  for (unsigned i = 1; i < ln.count; ++i) {
+    EXPECT_GT(ln.sparse[i], ln.sparse[i - 1]);
+  }
+}
+
+TEST(LogicalNode, InsertWithNewBitZeroSide) {
+  LogicalNode ln = Fig5Node();
+  // Same divergence but the new key's bit is 0: affected entries [3,6]
+  // move to the 1-side of the new BiNode.
+  unsigned pos = LogicalInsert(ln, 4, 7, 0, HotEntry::MakeTid(999));
+  EXPECT_EQ(pos, 3u);
+  EXPECT_EQ(ln.entries[3], HotEntry::MakeTid(999));
+  EXPECT_EQ(ln.sparse[3], 0b100000u << 26);   // prefix only
+  EXPECT_EQ(ln.sparse[4], 0b100100u << 26);   // was 100000 -> rank-3 set
+  EXPECT_EQ(ln.sparse[5], 0b100101u << 26);   // was 100001
+  EXPECT_EQ(ln.sparse[6], 0b100110u << 26);   // was 100010
+  EXPECT_EQ(ln.sparse[7], 0b100111u << 26);   // was 100011
+  for (unsigned i = 1; i < ln.count; ++i) {
+    EXPECT_GT(ln.sparse[i], ln.sparse[i - 1]);
+  }
+}
+
+TEST(LogicalNode, InsertExistingBit) {
+  LogicalNode ln = Fig5Node();
+  // Diverge from entry 1's subtree (sparse 01000, path bits {3,4}) at the
+  // *existing* bit 8 (rank 3, used by another subtree), key bit 1.
+  // Affected = entries with prefix "010" at ranks {0,1,2}: entry 1 only.
+  unsigned pos = LogicalInsert(ln, 1, 8, 1, HotEntry::MakeTid(500));
+  EXPECT_EQ(ln.num_bits, 5u);  // no recode needed
+  EXPECT_EQ(ln.count, 8u);
+  EXPECT_EQ(pos, 2u);
+  EXPECT_EQ(ln.sparse[2], 0b01010u << 27);
+  for (unsigned i = 1; i < ln.count; ++i) {
+    EXPECT_GT(ln.sparse[i], ln.sparse[i - 1]);
+  }
+}
+
+TEST(LogicalNode, SplitSeversRootBiNode) {
+  LogicalNode ln = Fig5Node();
+  SplitResult s = Split(ln);
+  EXPECT_EQ(s.bit_pos, 3u);
+  // 0-side: entries 0..2 (rank-0 bit clear), 1-side: 3..6.
+  ASSERT_EQ(s.left.count, 3u);
+  ASSERT_EQ(s.right.count, 4u);
+  EXPECT_EQ(s.left.entries[0], HotEntry::MakeTid(100));
+  EXPECT_EQ(s.right.entries[0], HotEntry::MakeTid(103));
+  // Left sparse keys {00000,01000,01100}: union&~inter keeps ranks {1,2}
+  // = bits {4,6}.
+  EXPECT_EQ(s.left.num_bits, 2u);
+  EXPECT_EQ(s.left.bits[0], 4u);
+  EXPECT_EQ(s.left.bits[1], 6u);
+  EXPECT_EQ(s.left.sparse[0], 0u);
+  EXPECT_EQ(s.left.sparse[1], 0b10u << 30);
+  EXPECT_EQ(s.left.sparse[2], 0b11u << 30);
+  // Right sparse keys {10000,10001,10010,10011}: the severed rank-0 bit is
+  // common to all and dropped; ranks {3,4} = bits {8,9} remain.
+  EXPECT_EQ(s.right.num_bits, 2u);
+  EXPECT_EQ(s.right.bits[0], 8u);
+  EXPECT_EQ(s.right.bits[1], 9u);
+  EXPECT_EQ(s.right.sparse[0], 0b00u << 30);
+  EXPECT_EQ(s.right.sparse[1], 0b01u << 30);
+  EXPECT_EQ(s.right.sparse[2], 0b10u << 30);
+  EXPECT_EQ(s.right.sparse[3], 0b11u << 30);
+}
+
+TEST(LogicalNode, SplitSingleEntrySide) {
+  LogicalNode ln;
+  ln.height = 2;
+  ln.count = 3;
+  ln.num_bits = 2;
+  ln.bits[0] = 1;
+  ln.bits[1] = 5;
+  ln.sparse[0] = 0;
+  ln.sparse[1] = LogicalNode::RankBit(0);
+  ln.sparse[2] = LogicalNode::RankBit(0) | LogicalNode::RankBit(1);
+  for (int i = 0; i < 3; ++i) ln.entries[i] = HotEntry::MakeTid(i);
+  SplitResult s = Split(ln);
+  EXPECT_EQ(s.left.count, 1u);
+  EXPECT_EQ(s.left.num_bits, 0u);
+  EXPECT_EQ(s.right.count, 2u);
+  EXPECT_EQ(s.right.num_bits, 1u);
+  EXPECT_EQ(s.right.bits[0], 5u);
+  // Halves recompute their exact heights: all-tid halves have height 1.
+  EXPECT_EQ(s.left.height, 1u);
+  EXPECT_EQ(s.right.height, 1u);
+}
+
+TEST(LogicalNode, ReplaceEntryWithTwoAddsPulledUpBit) {
+  LogicalNode ln = Fig5Node();
+  // Pull a BiNode at bit 20 (below every path bit) up into slot 6.
+  ReplaceEntryWithTwo(ln, 6, 20, HotEntry::MakeTid(600),
+                      HotEntry::MakeTid(601));
+  EXPECT_EQ(ln.count, 8u);
+  EXPECT_EQ(ln.num_bits, 6u);
+  EXPECT_EQ(ln.bits[5], 20u);
+  EXPECT_EQ(ln.entries[6], HotEntry::MakeTid(600));
+  EXPECT_EQ(ln.entries[7], HotEntry::MakeTid(601));
+  EXPECT_EQ(ln.sparse[7], ln.sparse[6] | LogicalNode::RankBit(5));
+  for (unsigned i = 1; i < ln.count; ++i) {
+    EXPECT_GT(ln.sparse[i], ln.sparse[i - 1]);
+  }
+}
+
+TEST(LogicalNode, RemoveEntryDropsUnusedBits) {
+  LogicalNode ln = Fig5Node();
+  // Rank 4 (bit 9) is used by entries 4 (10001) and 6 (10011).  Removing
+  // entry 4 keeps it alive through entry 6...
+  RemoveEntry(ln, 4);
+  EXPECT_EQ(ln.count, 6u);
+  EXPECT_EQ(ln.num_bits, 5u);
+  // ...removing 10011 too (now index 5) makes bit 9 unused and dropped.
+  RemoveEntry(ln, 5);
+  EXPECT_EQ(ln.count, 5u);
+  EXPECT_EQ(ln.num_bits, 4u);
+  uint16_t expect_bits[] = {3, 4, 6, 8};
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ln.bits[i], expect_bits[i]);
+}
+
+TEST(LogicalNode, RemoveToSingleEntry) {
+  LogicalNode ln = MakeTwoEntryNode(5, HotEntry::MakeTid(1),
+                                    HotEntry::MakeTid(2), 1);
+  EXPECT_EQ(ln.count, 2u);
+  RemoveEntry(ln, 0);
+  EXPECT_EQ(ln.count, 1u);
+  EXPECT_EQ(ln.num_bits, 0u);
+  EXPECT_EQ(ln.entries[0], HotEntry::MakeTid(2));
+}
+
+TEST(LogicalNode, MakeTwoEntryNode) {
+  LogicalNode ln = MakeTwoEntryNode(12, HotEntry::MakeTid(7),
+                                    HotEntry::MakeTid(9), 3);
+  EXPECT_EQ(ln.height, 3u);
+  EXPECT_EQ(ln.count, 2u);
+  EXPECT_EQ(ln.num_bits, 1u);
+  EXPECT_EQ(ln.bits[0], 12u);
+  EXPECT_EQ(ln.sparse[0], 0u);
+  EXPECT_EQ(ln.sparse[1], 0x80000000u);
+}
+
+}  // namespace
+}  // namespace hot

@@ -1,0 +1,211 @@
+// SIMD/scalar equivalence sweep across all nine physical node layouts,
+// using organically built nodes: keys are crafted so that a <=32-key trie
+// collapses into a single node of the desired layout, then every kernel
+// (extraction, comply, full search) is cross-checked between the AVX2/BMI2
+// path, the scalar twin, and a brute-force key-comparison oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/rng.h"
+#include "hot/node_search.h"
+#include "hot/trie.h"
+
+namespace hot {
+namespace {
+
+// Key recipes inducing specific layouts.  Each returns up to 32 distinct
+// keys whose discriminative bits have the required spread.
+struct LayoutRecipe {
+  NodeType want;
+  const char* name;
+  // Generates the i-th key into buf (fixed 64 bytes), returns length.
+  size_t (*make)(unsigned i, uint64_t salt, uint8_t* buf);
+};
+
+size_t DenseLowBytes(unsigned i, uint64_t salt, uint8_t* buf) {
+  // All variation in bytes 0..3: single-mask layouts.
+  std::memset(buf, 0, 8);
+  StoreBigEndian64(buf, (static_cast<uint64_t>(i) * 0x9E3779B9u + salt)
+                            << 32);
+  return 8;
+}
+
+size_t SpreadBytes(unsigned i, uint64_t salt, uint8_t* buf, unsigned stride,
+                   unsigned positions) {
+  // One varying bit per distinct byte, bytes `stride` apart.
+  std::memset(buf, 'x', 64);
+  for (unsigned p = 0; p < positions; ++p) {
+    unsigned bit = (i >> p) & 1;
+    buf[p * stride] = static_cast<uint8_t>('a' + bit * 8 + (salt & 3));
+  }
+  return 64;
+}
+
+size_t Spread8(unsigned i, uint64_t salt, uint8_t* buf) {
+  return SpreadBytes(i, salt, buf, 9, 5);  // 5 distinct bytes, 45-byte span
+}
+size_t Spread16(unsigned i, uint64_t salt, uint8_t* buf) {
+  // >8 distinct bytes: one bit per byte needs >8 positions -> use pairs.
+  std::memset(buf, 'x', 64);
+  for (unsigned p = 0; p < 10; ++p) {
+    unsigned bit = (i >> (p % 5)) & 1;
+    buf[p * 6] = static_cast<uint8_t>('a' + ((bit + p + salt) & 1) * 4);
+  }
+  // Ensure uniqueness via a distinct tail in more distinct bytes.
+  for (unsigned p = 0; p < 5; ++p) {
+    buf[61 - p] = static_cast<uint8_t>('A' + ((i >> p) & 1));
+  }
+  return 64;
+}
+size_t Spread32(unsigned i, uint64_t salt, uint8_t* buf) {
+  std::memset(buf, 'x', 64);
+  (void)salt;
+  // 20+ distinct bytes each carrying one informative bit.
+  for (unsigned p = 0; p < 20; ++p) {
+    buf[p * 3] = static_cast<uint8_t>('a' + ((i >> (p % 5)) & 1));
+  }
+  for (unsigned p = 0; p < 5; ++p) {
+    buf[62 - p * 3] = static_cast<uint8_t>('A' + ((i >> p) & 1));
+  }
+  return 64;
+}
+
+class SimdSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdSweepTest, KernelsAgreeOnOrganicNodes) {
+  int recipe_id = GetParam();
+  SplitMix64 rng(1000 + recipe_id);
+  for (int round = 0; round < 20; ++round) {
+    uint64_t salt = rng.Next();
+    // Build the key table.
+    std::vector<std::string> table;
+    std::set<std::string> dedup;
+    for (unsigned i = 0; i < 32; ++i) {
+      uint8_t buf[64];
+      size_t len;
+      switch (recipe_id) {
+        case 0:
+          len = DenseLowBytes(i, salt, buf);
+          break;
+        case 1:
+          len = Spread8(i, salt, buf);
+          break;
+        case 2:
+          len = Spread16(i, salt, buf);
+          break;
+        default:
+          len = Spread32(i, salt, buf);
+          break;
+      }
+      std::string s(reinterpret_cast<char*>(buf), len);
+      if (dedup.insert(s).second) table.push_back(s);
+    }
+    ASSERT_GE(table.size(), 2u);
+
+    HotTrie<StringTableExtractor> trie{StringTableExtractor(&table)};
+    for (size_t i = 0; i < table.size(); ++i) ASSERT_TRUE(trie.Insert(i));
+    std::string err;
+    ASSERT_TRUE(trie.Validate(&err)) << err;
+
+    // <=32 keys: the whole trie is one compound node.
+    ASSERT_TRUE(HotEntry::IsNode(trie.root_entry()));
+    NodeRef node = NodeRef::FromEntry(trie.root_entry());
+    ASSERT_EQ(node.count(), table.size());
+
+    // Cross-check kernels on member keys, perturbed keys and random keys.
+    for (int probe = 0; probe < 200; ++probe) {
+      std::string key = table[rng.NextBounded(table.size())];
+      if (probe % 3 == 1) {
+        key[rng.NextBounded(key.size())] ^=
+            static_cast<char>(1u << rng.NextBounded(8));
+      } else if (probe % 3 == 2) {
+        for (auto& c : key) c = static_cast<char>(rng.Next());
+      }
+      KeyRef kref(reinterpret_cast<const uint8_t*>(key.data()),
+                  key.size() + 1);
+      uint32_t simd_dense = ExtractDensePartialKey(node, kref);
+      uint32_t scalar_dense = ExtractDensePartialKeyScalar(node, kref);
+      ASSERT_EQ(simd_dense, scalar_dense);
+      ASSERT_EQ(ComplyMask(node, simd_dense) & node.UsedMask(),
+                ComplyMaskScalar(node, simd_dense) & node.UsedMask());
+      ASSERT_EQ(SearchNode(node, kref), SearchNodeScalar(node, kref));
+    }
+
+    // Member keys must route to themselves.
+    for (size_t i = 0; i < table.size(); ++i) {
+      unsigned idx = SearchNode(node, TerminatedView(table[i]));
+      ASSERT_EQ(HotEntry::TidPayload(node.values()[idx]), i) << table[i];
+    }
+  }
+}
+
+std::string RecipeName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"single_mask", "multi8", "multi16",
+                                       "multi32"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Recipes, SimdSweepTest, ::testing::Values(0, 1, 2, 3),
+                         RecipeName);
+
+// The layout chooser must produce each of the nine types for suitable bit
+// sets (exhaustiveness guard against regressions in ChooseNodeType).
+TEST(SimdSweep, AllNineLayoutsConstructible) {
+  struct Case {
+    NodeType want;
+    std::vector<uint16_t> bits;
+  };
+  std::vector<Case> cases;
+  cases.push_back({NodeType::kSingleMask8, {0, 1, 2}});
+  {
+    std::vector<uint16_t> b;
+    for (int i = 0; i < 12; ++i) b.push_back(i * 5);
+    cases.push_back({NodeType::kSingleMask16, b});
+  }
+  {
+    std::vector<uint16_t> b;
+    for (int i = 0; i < 20; ++i) b.push_back(i * 3);
+    cases.push_back({NodeType::kSingleMask32, b});
+  }
+  cases.push_back({NodeType::kMultiMask8x8, {0, 100, 200}});
+  {
+    std::vector<uint16_t> b;
+    for (int i = 0; i < 12; ++i) b.push_back((i / 2) * 100 + i % 2);
+    cases.push_back({NodeType::kMultiMask8x16, b});
+  }
+  {
+    std::vector<uint16_t> b;
+    for (int i = 0; i < 20; ++i) b.push_back((i / 3) * 100 + i % 3);
+    cases.push_back({NodeType::kMultiMask8x32, b});
+  }
+  {
+    std::vector<uint16_t> b;
+    for (int i = 0; i < 12; ++i) b.push_back(i * 100);
+    cases.push_back({NodeType::kMultiMask16x16, b});
+  }
+  {
+    std::vector<uint16_t> b;
+    for (int i = 0; i < 26; ++i) b.push_back((i / 2) * 100 + i % 2);
+    cases.push_back({NodeType::kMultiMask16x32, b});
+  }
+  {
+    std::vector<uint16_t> b;
+    for (int i = 0; i < 20; ++i) b.push_back(i * 100);
+    cases.push_back({NodeType::kMultiMask32x32, b});
+  }
+  for (const auto& c : cases) {
+    EXPECT_EQ(ChooseNodeType(c.bits.data(),
+                             static_cast<unsigned>(c.bits.size())),
+              c.want);
+  }
+}
+
+}  // namespace
+}  // namespace hot

@@ -1,0 +1,117 @@
+// Tests for the static-span prefix tree (Fig. 2c substrate) and the
+// Fig. 2 height relationships it motivates.
+
+#include "prefixtree/prefix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/extractors.h"
+#include "common/rng.h"
+#include "hot/trie.h"
+
+namespace hot {
+namespace {
+
+class PrefixTreeSpanTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrefixTreeSpanTest, InsertLookupAcrossSpans) {
+  unsigned span = GetParam();
+  MemoryCounter counter;
+  PrefixTree<U64KeyExtractor> tree{span, U64KeyExtractor(), &counter};
+  std::set<uint64_t> oracle;
+  SplitMix64 rng(span);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Next() >> 1;
+    ASSERT_EQ(tree.Insert(v), oracle.insert(v).second);
+  }
+  EXPECT_FALSE(tree.Insert(*oracle.begin()));
+  for (uint64_t v : oracle) {
+    ASSERT_TRUE(tree.Lookup(U64Key(v).ref()).has_value());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Next() >> 1;
+    ASSERT_EQ(tree.Lookup(U64Key(v).ref()).has_value(), oracle.count(v) > 0);
+  }
+  size_t leaves = 0;
+  tree.ForEachLeaf([&](unsigned, uint64_t) { ++leaves; });
+  EXPECT_EQ(leaves, oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, PrefixTreeSpanTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+TEST(PrefixTree, LargerSpanMeansLowerTree) {
+  // The Fig. 2 relationship: height scales ~1/s for fixed keys.
+  SplitMix64 rng(77);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) keys.push_back(rng.Next() >> 1);
+
+  double prev_mean = 1e9;
+  for (unsigned span : {1u, 2u, 4u, 8u}) {
+    PrefixTree<U64KeyExtractor> tree{span};
+    for (uint64_t v : keys) tree.Insert(v);
+    uint64_t total = 0, n = 0;
+    tree.ForEachLeaf([&](unsigned d, uint64_t) {
+      total += d;
+      ++n;
+    });
+    double mean = static_cast<double>(total) / n;
+    EXPECT_LT(mean, prev_mean) << "span " << span;
+    prev_mean = mean;
+  }
+}
+
+TEST(PrefixTree, SparseKeysWasteSpaceWithLargeSpan) {
+  // The §2 motivation: span-8 nodes on sparse keys are mostly empty.
+  SplitMix64 rng(99);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back(rng.Next() >> 1);
+
+  MemoryCounter small_counter, big_counter;
+  PrefixTree<U64KeyExtractor> small{2, U64KeyExtractor(), &small_counter};
+  PrefixTree<U64KeyExtractor> big{8, U64KeyExtractor(), &big_counter};
+  for (uint64_t v : keys) {
+    small.Insert(v);
+    big.Insert(v);
+  }
+  // Span 8 uses far more memory per key on sparse data.
+  EXPECT_GT(big_counter.live_bytes(), small_counter.live_bytes() * 4);
+}
+
+TEST(PrefixTree, HotBeatsEveryStaticSpanOnStrings) {
+  // End-to-end Fig. 2f claim: HOT's adaptive span gives a lower mean depth
+  // than any static span on sparse string keys.
+  std::vector<std::string> table;
+  SplitMix64 rng(123);
+  const char acgt[] = {'A', 'C', 'G', 'T'};
+  std::set<std::string> dedup;
+  while (table.size() < 3000) {
+    std::string s;
+    for (int i = 0; i < 20; ++i) s += acgt[rng.NextBounded(4)];
+    if (dedup.insert(s).second) table.push_back(s);
+  }
+
+  auto mean_depth = [&](auto& index) {
+    uint64_t total = 0, n = 0;
+    index.ForEachLeaf([&](unsigned d, uint64_t) {
+      total += d;
+      ++n;
+    });
+    return static_cast<double>(total) / n;
+  };
+
+  HotTrie<StringTableExtractor> hot{StringTableExtractor(&table)};
+  for (size_t i = 0; i < table.size(); ++i) hot.Insert(i);
+  double hot_mean = mean_depth(hot);
+
+  for (unsigned span : {1u, 2u, 4u, 8u}) {
+    PrefixTree<StringTableExtractor> tree{span, StringTableExtractor(&table)};
+    for (size_t i = 0; i < table.size(); ++i) tree.Insert(i);
+    EXPECT_LT(hot_mean, mean_depth(tree)) << "span " << span;
+  }
+}
+
+}  // namespace
+}  // namespace hot

@@ -1,0 +1,83 @@
+// Sanity tests for the benchmark RNGs: determinism, bounds, and the shape
+// of the Zipfian / latest distributions used by the YCSB workloads.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace hot {
+namespace {
+
+TEST(SplitMix64, DeterministicAndSeedSensitive) {
+  SplitMix64 a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  bool differs = false;
+  SplitMix64 a2(1);
+  for (int i = 0; i < 100; ++i) differs |= (a2.Next() != c.Next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(SplitMix64, BoundedStaysInBounds) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, BoundedIsRoughlyUniform) {
+  SplitMix64 rng(9);
+  constexpr int kBuckets = 10, kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Zipfian, StaysInBoundsAndSkewed) {
+  constexpr uint64_t kN = 1000;
+  ZipfianGenerator zipf(kN, 0.99, 123);
+  std::vector<uint64_t> counts(kN, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, kN);
+    ++counts[v];
+  }
+  // Rank 0 should dominate: with theta=0.99 its probability is ~1/zeta(n),
+  // far above uniform 1/n.
+  EXPECT_GT(counts[0], kDraws / 20);
+  // The head (top 10%) should hold well over half the mass.
+  uint64_t head = 0;
+  for (size_t i = 0; i < kN / 10; ++i) head += counts[i];
+  EXPECT_GT(head, static_cast<uint64_t>(kDraws) * 6 / 10);
+}
+
+TEST(Latest, SkewsTowardsRecent) {
+  LatestGenerator latest(100000, 77);
+  uint64_t current_max = 50000;
+  int near_top = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = latest.Next(current_max);
+    ASSERT_LT(v, current_max);
+    if (v >= current_max - current_max / 10) ++near_top;
+  }
+  EXPECT_GT(near_top, kDraws / 2);
+}
+
+TEST(Latest, HandlesSmallMax) {
+  LatestGenerator latest(10, 3);
+  EXPECT_EQ(latest.Next(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(latest.Next(1), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(latest.Next(3), 3u);
+}
+
+}  // namespace
+}  // namespace hot
