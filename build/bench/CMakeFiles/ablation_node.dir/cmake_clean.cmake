@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_node.dir/ablation_node.cc.o"
+  "CMakeFiles/ablation_node.dir/ablation_node.cc.o.d"
+  "ablation_node"
+  "ablation_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

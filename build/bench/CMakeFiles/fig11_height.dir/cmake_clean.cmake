@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_height.dir/fig11_height.cc.o"
+  "CMakeFiles/fig11_height.dir/fig11_height.cc.o.d"
+  "fig11_height"
+  "fig11_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

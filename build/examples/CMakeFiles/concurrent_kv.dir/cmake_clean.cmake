@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_kv.dir/concurrent_kv.cpp.o"
+  "CMakeFiles/concurrent_kv.dir/concurrent_kv.cpp.o.d"
+  "concurrent_kv"
+  "concurrent_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

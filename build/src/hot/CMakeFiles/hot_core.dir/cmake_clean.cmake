@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_core.dir/node_search.cc.o"
+  "CMakeFiles/hot_core.dir/node_search.cc.o.d"
+  "libhot_core.a"
+  "libhot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhot_core.a"
+)

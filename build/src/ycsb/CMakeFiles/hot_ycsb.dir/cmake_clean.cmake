@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_ycsb.dir/datasets.cc.o"
+  "CMakeFiles/hot_ycsb.dir/datasets.cc.o.d"
+  "libhot_ycsb.a"
+  "libhot_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_bulk_load_test.dir/hot_bulk_load_test.cc.o"
+  "CMakeFiles/hot_bulk_load_test.dir/hot_bulk_load_test.cc.o.d"
+  "hot_bulk_load_test"
+  "hot_bulk_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_bulk_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

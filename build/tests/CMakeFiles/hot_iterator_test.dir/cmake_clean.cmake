@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_iterator_test.dir/hot_iterator_test.cc.o"
+  "CMakeFiles/hot_iterator_test.dir/hot_iterator_test.cc.o.d"
+  "hot_iterator_test"
+  "hot_iterator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

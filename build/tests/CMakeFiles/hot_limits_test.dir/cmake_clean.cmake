@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_limits_test.dir/hot_limits_test.cc.o"
+  "CMakeFiles/hot_limits_test.dir/hot_limits_test.cc.o.d"
+  "hot_limits_test"
+  "hot_limits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_logical_test.dir/hot_logical_test.cc.o"
+  "CMakeFiles/hot_logical_test.dir/hot_logical_test.cc.o.d"
+  "hot_logical_test"
+  "hot_logical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_logical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

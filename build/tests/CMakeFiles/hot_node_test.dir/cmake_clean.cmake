@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_node_test.dir/hot_node_test.cc.o"
+  "CMakeFiles/hot_node_test.dir/hot_node_test.cc.o.d"
+  "hot_node_test"
+  "hot_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_property_test.dir/hot_property_test.cc.o"
+  "CMakeFiles/hot_property_test.dir/hot_property_test.cc.o.d"
+  "hot_property_test"
+  "hot_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

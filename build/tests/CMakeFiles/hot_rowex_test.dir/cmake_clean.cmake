@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_rowex_test.dir/hot_rowex_test.cc.o"
+  "CMakeFiles/hot_rowex_test.dir/hot_rowex_test.cc.o.d"
+  "hot_rowex_test"
+  "hot_rowex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_rowex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_simd_test.dir/hot_simd_test.cc.o"
+  "CMakeFiles/hot_simd_test.dir/hot_simd_test.cc.o.d"
+  "hot_simd_test"
+  "hot_simd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_trie_test.dir/hot_trie_test.cc.o"
+  "CMakeFiles/hot_trie_test.dir/hot_trie_test.cc.o.d"
+  "hot_trie_test"
+  "hot_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

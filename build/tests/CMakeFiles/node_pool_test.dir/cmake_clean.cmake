@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_pool_test.dir/node_pool_test.cc.o"
+  "CMakeFiles/node_pool_test.dir/node_pool_test.cc.o.d"
+  "node_pool_test"
+  "node_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patricia_test.dir/patricia_test.cc.o"
+  "CMakeFiles/patricia_test.dir/patricia_test.cc.o.d"
+  "patricia_test"
+  "patricia_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patricia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_index_test.dir/typed_index_test.cc.o"
+  "CMakeFiles/typed_index_test.dir/typed_index_test.cc.o.d"
+  "typed_index_test"
+  "typed_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
