@@ -14,6 +14,46 @@
 
 namespace hot {
 
+// Fault injection for the allocation paths (test support): when armed, the
+// Nth next allocation through any instrumented allocator (CountingAllocator,
+// NodePool) throws std::bad_alloc, so the copy-on-write insert paths can be
+// tested for exception-safety and leak-freedom.  Armed programmatically via
+// FailAfter(n) or at process start via the HOT_ALLOC_FAIL_AT environment
+// variable.  Disarmed cost is one relaxed atomic load per allocation.
+class AllocFaultInjector {
+ public:
+  // The nth next allocation (1-based) fails; 0 disarms.
+  static void FailAfter(uint64_t nth) {
+    Countdown().store(nth, std::memory_order_relaxed);
+  }
+  static void Disarm() { FailAfter(0); }
+  static bool armed() {
+    return Countdown().load(std::memory_order_relaxed) != 0;
+  }
+
+  // Called by instrumented allocators before any bookkeeping or carving.
+  static void MaybeFail() {
+    std::atomic<uint64_t>& c = Countdown();
+    uint64_t cur = c.load(std::memory_order_relaxed);
+    while (cur != 0) {
+      if (c.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
+        if (cur == 1) throw std::bad_alloc();
+        return;
+      }
+    }
+  }
+
+ private:
+  static std::atomic<uint64_t>& Countdown() {
+    static std::atomic<uint64_t> countdown{InitFromEnv()};
+    return countdown;
+  }
+  static uint64_t InitFromEnv() {
+    const char* s = std::getenv("HOT_ALLOC_FAIL_AT");
+    return s != nullptr ? std::strtoull(s, nullptr, 10) : 0;
+  }
+};
+
 // Tracks live bytes and allocation counts.  Thread-safe (relaxed atomics:
 // counters are statistics, not synchronization).
 class MemoryCounter {
@@ -58,6 +98,7 @@ class CountingAllocator {
   explicit CountingAllocator(MemoryCounter* counter) : counter_(counter) {}
 
   void* AllocateAligned(size_t bytes, size_t alignment) {
+    AllocFaultInjector::MaybeFail();
     // Reserve one alignment-sized slot in front of the returned pointer for
     // the size stamp, so the user pointer keeps the requested alignment.
     size_t header = alignment >= sizeof(size_t) ? alignment : sizeof(size_t);

@@ -17,14 +17,32 @@
 // The design follows the classic three-epoch scheme (Fraser; also used by
 // Masstree and the Bw-tree): collection only needs e_global to have advanced
 // twice past the retire epoch.
+//
+// Thread registration: each thread lazily claims one of kMaxThreads epoch
+// slots per manager and releases it when the thread exits (the release is
+// routed through a process-wide table of live managers, so a thread that
+// outlives a manager never touches freed slots).  When every slot is taken,
+// additional threads block in AcquireSlot until a registered thread exits —
+// never sharing a slot, since two threads pinning through one slot could
+// each overwrite the other's pin and allow premature reclamation.
+//
+// Guards nest: a per-slot depth counter makes only the outermost
+// Enter/Leave pair pin/unpin, so an inner guard cannot clobber the epoch an
+// outer guard still depends on.
+//
+// Destruction requires quiescence: no thread may be inside Enter/Leave or
+// blocked in AcquireSlot while the manager is destroyed (threads may still
+// *exit* later; their slot release checks the live-manager table).
 
 #ifndef HOT_COMMON_EPOCH_H_
 #define HOT_COMMON_EPOCH_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <mutex>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 namespace hot {
@@ -38,39 +56,61 @@ class EpochManager {
     for (auto& slot : slots_) {
       slot.epoch.store(kIdle, std::memory_order_relaxed);
       slot.used.store(false, std::memory_order_relaxed);
+      slot.depth.store(0, std::memory_order_relaxed);
     }
+    AliveRegistry& alive = AliveRegistry::Instance();
+    std::lock_guard<std::mutex> lock(alive.mu);
+    alive.ids.insert(id_);
   }
 
-  ~EpochManager() { CollectAll(); }
+  ~EpochManager() {
+    {
+      AliveRegistry& alive = AliveRegistry::Instance();
+      std::lock_guard<std::mutex> lock(alive.mu);
+      alive.ids.erase(id_);
+    }
+    CollectAll();
+  }
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
 
   // Registers the calling thread (idempotent) and returns its slot index.
-  // Identity is checked via a process-unique manager id, not the address:
-  // a new manager may be constructed at a previous one's address, which
-  // must not revive stale registrations.
+  // Blocks while all kMaxThreads slots are taken by live threads.  Identity
+  // is checked via a process-unique manager id, not the address: a new
+  // manager may be constructed at a previous one's address, which must not
+  // revive stale registrations.
   size_t RegisterThread() {
-    thread_local ThreadRegistration reg;
-    if (reg.manager != this || reg.manager_id != id_) {
-      size_t idx = AcquireSlot();
-      reg.manager = this;
-      reg.manager_id = id_;
-      reg.slot = idx;
+    ThreadRegistry& reg = LocalRegistry();
+    for (const auto& e : reg.entries) {
+      if (e.manager == this && e.manager_id == id_) return e.slot;
     }
-    return reg.slot;
+    reg.PruneDead();
+    size_t idx = AcquireSlot();
+    reg.entries.push_back({this, id_, idx});
+    return idx;
   }
 
   void Enter() {
     size_t slot = RegisterThread();
+    Slot& s = slots_[slot];
+    // Nested guard: the outer pin already protects everything this thread
+    // can observe; re-pinning at a newer epoch would lose that protection.
+    if (s.depth.fetch_add(1, std::memory_order_relaxed) > 0) return;
     uint64_t e = global_epoch_.load(std::memory_order_acquire);
-    slots_[slot].epoch.store(e, std::memory_order_release);
+    s.epoch.store(e, std::memory_order_release);
     // Re-read to close the race where the global epoch advanced between the
     // load and the store; one retry suffices because we are now visible.
     uint64_t e2 = global_epoch_.load(std::memory_order_acquire);
-    if (e2 != e) slots_[slot].epoch.store(e2, std::memory_order_release);
+    if (e2 != e) s.epoch.store(e2, std::memory_order_release);
   }
 
   void Leave() {
     size_t slot = RegisterThread();
-    slots_[slot].epoch.store(kIdle, std::memory_order_release);
+    Slot& s = slots_[slot];
+    // Only the outermost guard unpins.
+    if (s.depth.fetch_sub(1, std::memory_order_relaxed) > 1) return;
+    s.epoch.store(kIdle, std::memory_order_release);
     MaybeCollect(slot);
   }
 
@@ -121,11 +161,24 @@ class EpochManager {
     return n;
   }
 
+  // Number of slots currently claimed by live threads (test support; racy
+  // under concurrent registration).
+  size_t UsedSlots() const {
+    size_t n = 0;
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      if (slots_[i].used.load(std::memory_order_relaxed)) ++n;
+    }
+    return n;
+  }
+
  private:
   struct Slot {
     std::atomic<uint64_t> epoch;
     std::atomic<bool> used;
-    char padding[48];  // avoid false sharing between per-thread slots
+    // Guard nesting depth; touched only by the owning thread (atomic so a
+    // later owner of a recycled slot is well-ordered with the previous one).
+    std::atomic<uint32_t> depth;
+    char padding[44];  // avoid false sharing between per-thread slots
   };
 
   struct Retired {
@@ -139,11 +192,52 @@ class EpochManager {
     char padding[24];
   };
 
-  struct ThreadRegistration {
-    EpochManager* manager = nullptr;
-    uint64_t manager_id = 0;
-    size_t slot = 0;
+  // Process-wide table of live manager ids.  A thread-exit slot release
+  // dereferences its manager only while holding this mutex with the id
+  // still present, so destruction and release cannot race.
+  struct AliveRegistry {
+    std::mutex mu;
+    std::unordered_set<uint64_t> ids;
+    static AliveRegistry& Instance() {
+      static AliveRegistry registry;
+      return registry;
+    }
   };
+
+  // Per-thread registration records, released on thread exit.
+  struct ThreadRegistry {
+    struct Entry {
+      EpochManager* manager;
+      uint64_t manager_id;
+      size_t slot;
+    };
+    std::vector<Entry> entries;
+
+    // Drops records of destroyed managers so a long-lived thread touching
+    // many short-lived managers does not accumulate stale entries.
+    void PruneDead() {
+      AliveRegistry& alive = AliveRegistry::Instance();
+      std::lock_guard<std::mutex> lock(alive.mu);
+      std::erase_if(entries, [&](const Entry& e) {
+        return alive.ids.count(e.manager_id) == 0;
+      });
+    }
+
+    ~ThreadRegistry() {
+      AliveRegistry& alive = AliveRegistry::Instance();
+      std::lock_guard<std::mutex> lock(alive.mu);
+      for (const auto& e : entries) {
+        if (alive.ids.count(e.manager_id) != 0) {
+          e.manager->ReleaseSlot(e.slot);
+        }
+      }
+    }
+  };
+
+  static ThreadRegistry& LocalRegistry() {
+    static thread_local ThreadRegistry registry;
+    return registry;
+  }
 
   static uint64_t NextManagerId() {
     static std::atomic<uint64_t> next{1};
@@ -153,15 +247,30 @@ class EpochManager {
   static constexpr size_t kCollectThreshold = 128;
 
   size_t AcquireSlot() {
-    for (size_t i = 0; i < kMaxThreads; ++i) {
-      bool expected = false;
-      if (!slots_[i].used.load(std::memory_order_relaxed) &&
-          slots_[i].used.compare_exchange_strong(expected, true)) {
-        return i;
+    for (;;) {
+      for (size_t i = 0; i < kMaxThreads; ++i) {
+        bool expected = false;
+        if (!slots_[i].used.load(std::memory_order_relaxed) &&
+            slots_[i].used.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          return i;
+        }
       }
+      // Table full: more live threads than slots.  Block until a registered
+      // thread exits and releases its slot — never alias an occupied slot,
+      // since two pins through one slot can overwrite each other and allow
+      // premature reclamation.
+      std::this_thread::yield();
     }
-    // More threads than slots: fall back to slot 0 (correct but contended).
-    return 0;
+  }
+
+  // Returns the slot to the pool.  The release store on `used` pairs with
+  // the acquire CAS in AcquireSlot, ordering this thread's accesses (limbo
+  // list, protected objects) before the next owner's.
+  void ReleaseSlot(size_t slot) {
+    slots_[slot].depth.store(0, std::memory_order_relaxed);
+    slots_[slot].epoch.store(kIdle, std::memory_order_release);
+    slots_[slot].used.store(false, std::memory_order_release);
   }
 
   void AdvanceEpoch() {
@@ -171,7 +280,10 @@ class EpochManager {
   uint64_t MinActiveEpoch() const {
     uint64_t min = kIdle;
     for (size_t i = 0; i < kMaxThreads; ++i) {
-      if (!slots_[i].used.load(std::memory_order_relaxed)) continue;
+      // Acquire pairs with ReleaseSlot so that skipping a just-released
+      // slot still orders the releasing thread's reads before our caller's
+      // frees.
+      if (!slots_[i].used.load(std::memory_order_acquire)) continue;
       uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
       if (e != kIdle && e < min) min = e;
     }
@@ -195,7 +307,8 @@ class EpochManager {
   LimboList limbo_[kMaxThreads];
 };
 
-// RAII epoch pin for readers and writers.
+// RAII epoch pin for readers and writers.  Guards may nest on one thread;
+// only the outermost pins and unpins.
 class EpochGuard {
  public:
   explicit EpochGuard(EpochManager* manager) : manager_(manager) {

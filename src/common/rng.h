@@ -45,22 +45,39 @@ class SplitMix64 {
 class ZipfianGenerator {
  public:
   ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 1)
-      : n_(n), theta_(theta), rng_(seed) {
+      : n_(n == 0 ? 1 : n), theta_(theta), rng_(seed) {
     zetan_ = Zeta(n_, theta_);
     zeta2_ = Zeta(2, theta_);
     alpha_ = 1.0 / (1.0 - theta_);
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
-           (1.0 - zeta2_ / zetan_);
+    if (n_ <= 2) {
+      // The eta formula degenerates below three ranks: for n == 1 the
+      // denominator 1 - zeta2/zetan is negative (zeta2 > zetan), and for
+      // n == 2 both numerator and denominator are 0 in exact arithmetic —
+      // a ±1ulp NaN in floating point.  RankFor's first two branches cover
+      // every rank of these domains, so eta is only a guard value here.
+      eta_ = 0.0;
+    } else {
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+             (1.0 - zeta2_ / zetan_);
+    }
   }
 
-  uint64_t Next() {
-    double u = rng_.NextDouble();
+  uint64_t Next() { return RankFor(rng_.NextDouble()); }
+
+  // Deterministic mapping from a uniform u in [0, 1] to a Zipfian rank in
+  // [0, n).  Exposed so boundary behaviour is testable without steering the
+  // internal RNG.
+  uint64_t RankFor(double u) const {
+    if (n_ == 1) return 0;
     double uz = u * zetan_;
     if (uz < 1.0) return 0;
-    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
-    return static_cast<uint64_t>(
+    if (uz < 1.0 + std::pow(0.5, theta_) || n_ == 2) return 1;
+    uint64_t rank = static_cast<uint64_t>(
         static_cast<double>(n_) *
         std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    // u close enough to 1 makes the power term round to exactly 1.0 and the
+    // product to n — clamp back into the domain.
+    return rank >= n_ ? n_ - 1 : rank;
   }
 
  private:

@@ -9,7 +9,10 @@
 #include <cstdint>
 #include <cstring>
 
-#if defined(__AVX2__)
+// HOT_FORCE_SCALAR (CMake -DHOT_FORCE_SCALAR=ON) compiles the intrinsic
+// paths out even when the ISA is available, so sanitizer/CI builds actually
+// exercise the scalar twins instead of only compiling them.
+#if defined(__AVX2__) && !defined(HOT_FORCE_SCALAR)
 #include <immintrin.h>
 #define HOT_HAVE_AVX2 1
 #else

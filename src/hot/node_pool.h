@@ -52,6 +52,7 @@ class NodePool {
   void* AllocateAligned(size_t bytes, size_t alignment) {
     assert(alignment <= kGranularity);
     (void)alignment;
+    AllocFaultInjector::MaybeFail();
     size_t cls = ClassOf(bytes);
     size_t rounded = cls * kGranularity;
     if (counter_ != nullptr) counter_->OnAlloc(rounded);

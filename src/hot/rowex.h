@@ -32,6 +32,7 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "common/epoch.h"
 #include "common/extractors.h"
@@ -41,6 +42,7 @@
 #include "hot/node.h"
 #include "hot/node_pool.h"
 #include "hot/node_search.h"
+#include "hot/validate.h"
 
 namespace hot {
 
@@ -186,6 +188,27 @@ class RowexHotTrie {
     }
   }
 
+  // Insert-or-overwrite: stores `value` under its extracted key, replacing
+  // any value that currently maps to the same key.  Returns the previous
+  // value if one was replaced.  Overwrites are in-place slot stores under
+  // the owning node's lock (no copy-on-write needed: only the 64-bit value
+  // slot changes, which readers already load atomically).
+  std::optional<uint64_t> Upsert(uint64_t value) {
+    for (;;) {
+      EpochGuard guard(&epochs_);
+      int r = TryInsert(value);
+      if (r == 1) return std::nullopt;
+      if (r == 0) {
+        std::optional<uint64_t> prev;
+        int o = TryOverwrite(value, &prev);
+        if (o == 1) return prev;
+        // o == 0: the key vanished between the duplicate detection and the
+        // overwrite (concurrent Remove) — retry as a fresh insert.
+      }
+      // restart
+    }
+  }
+
   size_t size() const { return size_.load(std::memory_order_relaxed); }
   bool empty() const { return size() == 0; }
   MemoryCounter* counter() const { return alloc_.counter(); }
@@ -195,6 +218,14 @@ class RowexHotTrie {
   void ForEachLeaf(
       const std::function<void(unsigned depth, uint64_t value)>& fn) const {
     LeafRec(root_.load(std::memory_order_acquire), 0, fn);
+  }
+
+  // Checks every structural invariant of the current tree.  Quiescent-only
+  // (the stress tests call this at round barriers); expensive — test/debug
+  // use.
+  bool Validate(std::string* error) const {
+    return ValidateHotTree(root_.load(std::memory_order_acquire), extractor_,
+                           size(), error);
   }
 
  private:
@@ -236,14 +267,22 @@ class RowexHotTrie {
 
   void Retire(NodeRef node) {
     // Pack pool + node into a heap context (nodes cannot be freed inline:
-    // readers may still traverse them).
-    auto* ctx = new RetireCtx{&alloc_, node.raw(), node.type()};
-    epochs_.Retire(ctx, [](void* p) {
-      auto* c = static_cast<RetireCtx*>(p);
-      NodeRef n(c->raw, c->type);
-      FreeNode(*c->pool, n);
-      delete c;
-    });
+    // readers may still traverse them).  Callers retire only after the
+    // replacement is published, so if the bookkeeping itself runs out of
+    // memory the node is leaked rather than letting an exception escape
+    // past the publication point with locks still held.
+    RetireCtx* ctx = nullptr;
+    try {
+      ctx = new RetireCtx{&alloc_, node.raw(), node.type()};
+      epochs_.Retire(ctx, [](void* p) {
+        auto* c = static_cast<RetireCtx*>(p);
+        NodeRef n(c->raw, c->type);
+        FreeNode(*c->pool, n);
+        delete c;
+      });
+    } catch (const std::bad_alloc&) {
+      delete ctx;
+    }
   }
 
   struct RetireCtx {
@@ -284,8 +323,16 @@ class RowexHotTrie {
           uint64_t tid = HotEntry::MakeTid(value);
           LogicalNode two = key.Bit(p) ? MakeTwoEntryNode(p, root, tid, 1)
                                        : MakeTwoEntryNode(p, tid, root, 1);
-          root_.store(Encode(two, alloc_).ToEntry(),
-                      std::memory_order_release);
+          uint64_t entry;
+          try {
+            entry = Encode(two, alloc_).ToEntry();
+          } catch (...) {
+            // Allocation failed before anything was published: the tree is
+            // untouched, just release the lock.
+            root_lock_.Unlock();
+            throw;
+          }
+          root_.store(entry, std::memory_order_release);
         }
       }
       root_lock_.Unlock();
@@ -335,7 +382,14 @@ class RowexHotTrie {
       }
       LogicalNode two = key_bit ? MakeTwoEntryNode(p, old_leaf, tid, 1)
                                 : MakeTwoEntryNode(p, tid, old_leaf, 1);
-      StoreSlot(slot, Encode(two, alloc_).ToEntry());
+      uint64_t entry;
+      try {
+        entry = Encode(two, alloc_).ToEntry();
+      } catch (...) {
+        tnode.header()->lock.Unlock();
+        throw;
+      }
+      StoreSlot(slot, entry);
       tnode.header()->lock.Unlock();
       size_.fetch_add(1, std::memory_order_relaxed);
       return 1;
@@ -410,18 +464,30 @@ class RowexHotTrie {
     // stable and plain reads inside TryPhysicalInsert are safe.
     if (cow_top == target && path[target].node.count() < kMaxFanout) {
       PhysicalInsertInfo info{rank, exists, range.first, range.last};
-      uint64_t fast = TryPhysicalInsert(path[target].node, info,
-                                        static_cast<unsigned>(p), key_bit,
-                                        tid, alloc_);
+      uint64_t fast;
+      try {
+        fast = TryPhysicalInsert(path[target].node, info,
+                                 static_cast<unsigned>(p), key_bit, tid,
+                                 alloc_);
+      } catch (...) {
+        // The replacement node was never allocated; nothing was published
+        // or marked obsolete, so unlocking restores the pre-insert state.
+        unlock_all();
+        throw;
+      }
       if (fast != HotEntry::kEmpty) {
+        // Publish before Retire: Retire heap-allocates its context, and a
+        // throw after publication at worst leaks the replaced node, while a
+        // throw before it would leave an obsolete node reachable (writers
+        // validating against it would restart forever).
         path[target].node.header()->lock.MarkObsolete();
-        Retire(path[target].node);
         if (root_slot) {
           root_.store(fast, std::memory_order_release);
         } else {
           StoreSlot(&path[cow_top - 1].node.values()[path[cow_top - 1].idx],
                     fast);
         }
+        Retire(path[target].node);
         unlock_all();
         size_.fetch_add(1, std::memory_order_relaxed);
         return 1;
@@ -430,46 +496,71 @@ class RowexHotTrie {
 
     // General path: logical insert, then resolve overflow along the locked
     // chain.  Publication is a single release store into the slot holder.
+    // Every freshly encoded node is tracked so an allocation failure can
+    // free the unpublished partial chain and leave the tree untouched
+    // (each chain level encodes at most two halves plus one final node).
+    uint64_t fresh[2 * kMaxDepth + 2];
+    unsigned n_fresh = 0;
+    auto encode_fresh = [&](LogicalNode& n) {
+      uint64_t e = Encode(n, alloc_).ToEntry();
+      fresh[n_fresh++] = e;
+      return e;
+    };
+    auto encode_half_fresh = [&](LogicalNode& half) {
+      return half.count == 1 ? half.entries[0] : encode_fresh(half);
+    };
+
     LogicalNode ln = Decode(path[target].node);
     LogicalInsert(ln, path[target].idx, static_cast<unsigned>(p), key_bit,
                   tid);
     unsigned level = target;
     uint64_t publish;
-    for (;;) {
-      if (ln.count <= kMaxFanout) {
-        publish = Encode(ln, alloc_).ToEntry();
-        break;
-      }
-      SplitResult split = Split(ln);
-      uint64_t left_entry = EncodeHalf(split.left);
-      uint64_t right_entry = EncodeHalf(split.right);
-      unsigned h =
-          1 + std::max(EntryHeight(left_entry), EntryHeight(right_entry));
-      if (level == 0) {
-        LogicalNode new_root =
+    try {
+      for (;;) {
+        if (ln.count <= kMaxFanout) {
+          publish = encode_fresh(ln);
+          break;
+        }
+        SplitResult split = Split(ln);
+        uint64_t left_entry = encode_half_fresh(split.left);
+        uint64_t right_entry = encode_half_fresh(split.right);
+        unsigned h =
+            1 + std::max(EntryHeight(left_entry), EntryHeight(right_entry));
+        if (level == 0) {
+          LogicalNode new_root =
+              MakeTwoEntryNode(split.bit_pos, left_entry, right_entry, h);
+          publish = encode_fresh(new_root);
+          break;
+        }
+        if (ln.height + 1 == path[level - 1].node.height()) {
+          LogicalNode pl = Decode(path[level - 1].node);
+          ReplaceEntryWithTwo(pl, path[level - 1].idx, split.bit_pos,
+                              left_entry, right_entry);
+          ln = pl;
+          --level;
+          continue;
+        }
+        LogicalNode intermediate =
             MakeTwoEntryNode(split.bit_pos, left_entry, right_entry, h);
-        publish = Encode(new_root, alloc_).ToEntry();
+        publish = encode_fresh(intermediate);
         break;
       }
-      if (ln.height + 1 == path[level - 1].node.height()) {
-        LogicalNode pl = Decode(path[level - 1].node);
-        ReplaceEntryWithTwo(pl, path[level - 1].idx, split.bit_pos, left_entry,
-                            right_entry);
-        ln = pl;
-        --level;
-        continue;
+    } catch (...) {
+      // Nothing built here was published and no node was marked obsolete:
+      // free the partial replacement chain (FreeNode is per-node, so shared
+      // non-fresh children are untouched) and restore the pre-insert state.
+      for (unsigned i = 0; i < n_fresh; ++i) {
+        FreeNode(alloc_, NodeRef::FromEntry(fresh[i]));
       }
-      LogicalNode intermediate =
-          MakeTwoEntryNode(split.bit_pos, left_entry, right_entry, h);
-      publish = Encode(intermediate, alloc_).ToEntry();
-      break;
+      unlock_all();
+      throw;
     }
     assert(level == cow_top);
 
-    // Mark every replaced node obsolete and retire it, then publish.
+    // Mark every replaced node obsolete, publish, then retire the replaced
+    // chain (publication first — see the fast path above).
     for (unsigned lvl = cow_top; lvl <= target; ++lvl) {
       path[lvl].node.header()->lock.MarkObsolete();
-      Retire(path[lvl].node);
     }
     if (root_slot) {
       root_.store(publish, std::memory_order_release);
@@ -477,10 +568,67 @@ class RowexHotTrie {
       StoreSlot(&path[cow_top - 1].node.values()[path[cow_top - 1].idx],
                 publish);
     }
+    for (unsigned lvl = cow_top; lvl <= target; ++lvl) {
+      Retire(path[lvl].node);
+    }
 
     // (e) unlock (top-down order; obsolete nodes' locks are dead anyway).
     unlock_all();
     size_.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+
+  // Returns 1 overwritten (previous value in *prev), 0 key not found,
+  // -1 restart.  Called by Upsert after TryInsert reported a duplicate.
+  int TryOverwrite(uint64_t value, std::optional<uint64_t>* prev) {
+    KeyScratch scratch;
+    KeyRef key = extractor_(value, scratch);
+    uint64_t root = root_.load(std::memory_order_acquire);
+    if (HotEntry::IsEmpty(root)) return 0;
+
+    if (HotEntry::IsTid(root)) {
+      KeyScratch existing_scratch;
+      if (!(extractor_(HotEntry::TidPayload(root), existing_scratch) == key)) {
+        return 0;
+      }
+      root_lock_.Lock();
+      bool same = root_.load(std::memory_order_relaxed) == root;
+      if (same) {
+        root_.store(HotEntry::MakeTid(value), std::memory_order_release);
+      }
+      root_lock_.Unlock();
+      if (!same) return -1;
+      *prev = HotEntry::TidPayload(root);
+      return 1;
+    }
+
+    NodeRef node;
+    unsigned idx = 0;
+    uint64_t cur = root;
+    while (HotEntry::IsNode(cur)) {
+      node = NodeRef::FromEntry(cur);
+      node.Prefetch();
+      idx = SearchNode(node, key);
+      cur = LoadSlot(&node.values()[idx]);
+    }
+    KeyScratch existing_scratch;
+    if (HotEntry::IsEmpty(cur) ||
+        !(extractor_(HotEntry::TidPayload(cur), existing_scratch) == key)) {
+      return 0;
+    }
+
+    node.header()->lock.Lock();
+    uint64_t* slot = &node.values()[idx];
+    // A changed slot covers both a concurrent value change and a pushdown
+    // that replaced the leaf with a node; obsolete means the whole node was
+    // superseded copy-on-write.
+    if (node.header()->lock.IsObsolete() || LoadSlot(slot) != cur) {
+      node.header()->lock.Unlock();
+      return -1;
+    }
+    StoreSlot(slot, HotEntry::MakeTid(value));
+    node.header()->lock.Unlock();
+    *prev = HotEntry::TidPayload(cur);
     return 1;
   }
 
@@ -553,23 +701,26 @@ class RowexHotTrie {
 
     LogicalNode ln = Decode(path[leaf_level].node);
     RemoveEntry(ln, path[leaf_level].idx);
-    uint64_t replacement =
-        ln.count == 1 ? ln.entries[0] : Encode(ln, alloc_).ToEntry();
+    uint64_t replacement;
+    try {
+      replacement =
+          ln.count == 1 ? ln.entries[0] : Encode(ln, alloc_).ToEntry();
+    } catch (...) {
+      // The replacement was never built: unlock and leave the key present.
+      unlock_all();
+      throw;
+    }
     path[leaf_level].node.header()->lock.MarkObsolete();
-    Retire(path[leaf_level].node);
     if (root_slot) {
       root_.store(replacement, std::memory_order_release);
     } else {
       StoreSlot(&path[leaf_level - 1].node.values()[path[leaf_level - 1].idx],
                 replacement);
     }
+    Retire(path[leaf_level].node);
     unlock_all();
     size_.fetch_sub(1, std::memory_order_relaxed);
     return 1;
-  }
-
-  uint64_t EncodeHalf(LogicalNode& half) {
-    return half.count == 1 ? half.entries[0] : Encode(half, alloc_).ToEntry();
   }
 
   void LeafRec(uint64_t entry, unsigned depth,

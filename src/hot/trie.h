@@ -169,9 +169,6 @@ class HotTrie {
 
   void FreeSubtree(uint64_t entry);
 
-  bool ValidateNode(NodeRef node, std::string* error, uint64_t* min_key_tid,
-                    uint64_t* max_key_tid) const;
-
   KeyExtractor extractor_;
   mutable NodePool alloc_;
   uint64_t root_;
@@ -665,5 +662,14 @@ void HotTrie<KeyExtractor>::ForEachLeaf(
 }  // namespace hot
 
 #include "hot/validate.h"
+
+namespace hot {
+
+template <typename KeyExtractor>
+bool HotTrie<KeyExtractor>::Validate(std::string* error) const {
+  return ValidateHotTree(root_, extractor_, size_, error);
+}
+
+}  // namespace hot
 
 #endif  // HOT_HOT_TRIE_H_

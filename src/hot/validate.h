@@ -1,6 +1,10 @@
-// Structural validation for HotTrie (test/debug support).
+// Structural validation for HOT trees (test/debug support).
 //
-// Included at the end of hot/trie.h; do not include directly.
+// Self-contained free functions over a tree's root entry, so both the
+// single-threaded HotTrie and the ROWEX-synchronized RowexHotTrie can share
+// one checker.  Quiescent-only: the walk reads value slots with plain loads,
+// so no writer may run concurrently (the stress tests call this at round
+// barriers).
 //
 // Checks, for every compound node:
 //   * k-constraint: 2 <= count <= 32, 1 <= num_bits <= min(31, count-1)
@@ -15,13 +19,20 @@
 //     below each entry, the node-local search returns exactly that entry
 //     (exercises masks, extraction and comply semantics)
 // and globally that in-order traversal yields strictly ascending keys whose
-// count equals size().
+// count equals the expected size.
 
 #ifndef HOT_HOT_VALIDATE_H_
 #define HOT_HOT_VALIDATE_H_
 
+#include <bit>
+#include <cstdint>
 #include <sstream>
 #include <string>
+
+#include "common/key.h"
+#include "hot/logical_node.h"
+#include "hot/node.h"
+#include "hot/node_search.h"
 
 namespace hot {
 namespace detail {
@@ -78,10 +89,11 @@ inline bool CheckLocalTrie(const LogicalNode& ln, unsigned l, unsigned r,
 
 }  // namespace detail
 
+// Per-node structural check.  `extractor` maps a tid payload to its KeyRef
+// (same contract as the tries' KeyExtractor template parameter).
 template <typename KeyExtractor>
-bool HotTrie<KeyExtractor>::ValidateNode(NodeRef node, std::string* error,
-                                         uint64_t* /*min_key_tid*/,
-                                         uint64_t* /*max_key_tid*/) const {
+bool ValidateHotNode(NodeRef node, const KeyExtractor& extractor,
+                     std::string* error) {
   std::ostringstream oss;
   auto fail = [&](const std::string& msg) {
     if (error != nullptr) *error = msg;
@@ -149,7 +161,7 @@ bool HotTrie<KeyExtractor>::ValidateNode(NodeRef node, std::string* error,
     for (bool leftmost : {true, false}) {
       uint64_t leaf = detail::EdgeLeaf(e, leftmost);
       KeyScratch scratch;
-      KeyRef key = ExtractKey(leaf, scratch);
+      KeyRef key = extractor(HotEntry::TidPayload(leaf), scratch);
       unsigned got = SearchNodeScalar(node, key);
       unsigned got_simd = SearchNode(node, key);
       if (got != i || got_simd != i) {
@@ -162,40 +174,58 @@ bool HotTrie<KeyExtractor>::ValidateNode(NodeRef node, std::string* error,
   return true;
 }
 
+// Whole-tree check over a quiescent snapshot rooted at `root_entry`: every
+// node passes ValidateHotNode, in-order leaves are strictly ascending, and
+// the leaf count equals `expected_size`.
 template <typename KeyExtractor>
-bool HotTrie<KeyExtractor>::Validate(std::string* error) const {
+bool ValidateHotTree(uint64_t root_entry, const KeyExtractor& extractor,
+                     size_t expected_size, std::string* error) {
   bool ok = true;
   std::string err;
-  // Per-node checks.
-  ForEachNode([&](NodeRef node, unsigned) {
-    if (!ok) return;
-    uint64_t lo = 0, hi = 0;
-    if (!ValidateNode(node, &err, &lo, &hi)) ok = false;
-  });
+  auto walk_nodes = [&](auto&& self, uint64_t entry) -> void {
+    if (!ok || !HotEntry::IsNode(entry)) return;
+    NodeRef node = NodeRef::FromEntry(entry);
+    if (!ValidateHotNode(node, extractor, &err)) {
+      ok = false;
+      return;
+    }
+    for (unsigned i = 0; i < node.count() && ok; ++i) {
+      self(self, node.values()[i]);
+    }
+  };
+  walk_nodes(walk_nodes, root_entry);
   if (!ok) {
     if (error != nullptr) *error = err;
     return false;
   }
-  // Global order and cardinality.
+
   size_t seen = 0;
   bool have_prev = false;
   std::string prev_key;
-  ForEachLeaf([&](unsigned, uint64_t value) {
-    if (!ok) return;
-    ++seen;
-    KeyScratch scratch;
-    KeyRef key = extractor_(value, scratch);
-    std::string cur(reinterpret_cast<const char*>(key.data()), key.size());
-    if (have_prev && !(prev_key < cur)) {
-      err = "in-order traversal not strictly ascending";
-      ok = false;
+  auto walk_leaves = [&](auto&& self, uint64_t entry) -> void {
+    if (!ok || HotEntry::IsEmpty(entry)) return;
+    if (HotEntry::IsTid(entry)) {
+      ++seen;
+      KeyScratch scratch;
+      KeyRef key = extractor(HotEntry::TidPayload(entry), scratch);
+      std::string cur(reinterpret_cast<const char*>(key.data()), key.size());
+      if (have_prev && !(prev_key < cur)) {
+        err = "in-order traversal not strictly ascending";
+        ok = false;
+      }
+      prev_key = std::move(cur);
+      have_prev = true;
+      return;
     }
-    prev_key = std::move(cur);
-    have_prev = true;
-  });
-  if (ok && seen != size_) {
+    NodeRef node = NodeRef::FromEntry(entry);
+    for (unsigned i = 0; i < node.count() && ok; ++i) {
+      self(self, node.values()[i]);
+    }
+  };
+  walk_leaves(walk_leaves, root_entry);
+  if (ok && seen != expected_size) {
     std::ostringstream oss;
-    oss << "leaf count " << seen << " != size " << size_;
+    oss << "leaf count " << seen << " != size " << expected_size;
     err = oss.str();
     ok = false;
   }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <vector>
 
@@ -57,6 +58,69 @@ TEST(Zipfian, StaysInBoundsAndSkewed) {
   uint64_t head = 0;
   for (size_t i = 0; i < kN / 10; ++i) head += counts[i];
   EXPECT_GT(head, static_cast<uint64_t>(kDraws) * 6 / 10);
+}
+
+// Regression (ISSUE 1): n == 1 made the eta denominator negative
+// (zeta2/zetan > 1) and n == 2 made it 0/0; neither domain may ever draw a
+// rank outside [0, n).
+TEST(Zipfian, DegenerateDomains) {
+  ZipfianGenerator one(1, 0.99, 7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(one.Next(), 0u);
+  EXPECT_EQ(one.RankFor(0.0), 0u);
+  EXPECT_EQ(one.RankFor(std::nextafter(1.0, 0.0)), 0u);
+  EXPECT_EQ(one.RankFor(1.0), 0u);
+
+  ZipfianGenerator two(2, 0.99, 7);
+  bool saw[2] = {false, false};
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t v = two.Next();
+    ASSERT_LT(v, 2u);
+    saw[v] = true;
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+  EXPECT_LT(two.RankFor(std::nextafter(1.0, 0.0)), 2u);
+  EXPECT_LT(two.RankFor(1.0), 2u);
+
+  // n == 0 must not divide by zero; it collapses to the single-rank domain.
+  ZipfianGenerator zero(0, 0.99, 7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(zero.Next(), 0u);
+}
+
+// Regression (ISSUE 1): u close enough to 1.0 made eta*u - eta + 1.0 round
+// to exactly 1.0, so Next() returned n itself — one past the domain.
+TEST(Zipfian, RankStaysBelowNAtRoundingBoundary) {
+  for (uint64_t n : {4ULL, 100ULL, 1000ULL, 1000000ULL}) {
+    ZipfianGenerator zipf(n, 0.99, 7);
+    EXPECT_EQ(zipf.RankFor(0.0), 0u) << n;
+    EXPECT_LT(zipf.RankFor(std::nextafter(1.0, 0.0)), n) << n;
+    EXPECT_LT(zipf.RankFor(1.0), n) << n;
+    // A fine sweep across [0, 1] must stay in the domain everywhere.
+    for (int i = 0; i <= 100000; ++i) {
+      ASSERT_LT(zipf.RankFor(i * 1e-5), n) << n;
+    }
+  }
+}
+
+// Distribution sanity (ISSUE 1): all draws in range, and the rank-0
+// frequency must match the theoretical 1/zeta(n, theta) head probability.
+TEST(Zipfian, HeadFrequencyMatchesTheory) {
+  constexpr uint64_t kN = 1000;
+  constexpr double kTheta = 0.99;
+  double zetan = 0.0;
+  for (uint64_t i = 1; i <= kN; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), kTheta);
+  }
+  ZipfianGenerator zipf(kN, kTheta, 99);
+  constexpr int kDraws = 400000;
+  int rank0 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, kN);
+    if (v == 0) ++rank0;
+  }
+  double freq0 = static_cast<double>(rank0) / kDraws;
+  EXPECT_NEAR(freq0, 1.0 / zetan, 0.1 / zetan);
 }
 
 TEST(Latest, SkewsTowardsRecent) {

@@ -1,0 +1,245 @@
+// Deterministic multi-threaded stress driver for the ROWEX-synchronized HOT
+// trie (paper §5), sized so sanitizer builds (-DHOT_SANITIZE=thread|address)
+// finish in CI time.
+//
+// Shape: rounds of N writer threads (insert/delete/upsert over Zipfian key
+// ranks) racing M reader threads (lookups and ordered scans).  Writers own
+// disjoint key spaces — id = (zipfian rank << 4) | thread — so each writer
+// keeps an exact local oracle while the tree structure itself is fully
+// shared and contended.  At the end of every round all threads join
+// (a quiesce point) and the main thread checks the global invariants:
+//   * structural validity via ValidateHotTree (hot/validate.h)
+//   * size() equals the sum of the writer oracles
+//   * every oracle entry is present with its exact last-written version
+//   * every key a writer removed is absent
+//
+// Reader-side invariants (checked while racing writers): a lookup hit
+// returns a value with the probed key, and ordered scans yield strictly
+// ascending keys starting at or after the scan origin.
+//
+// HOT_STRESS_OPS overrides the per-writer per-round operation count
+// (default 8000; 4 writers x 4 rounds x 8000 > 100k operations).
+
+#include "hot/rowex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/key.h"
+#include "common/rng.h"
+
+namespace hot {
+namespace {
+
+// Value layout: [version:23][id:40], bit 63 clear.  The key is the id alone,
+// so Upsert with a new version overwrites the stored value in place.
+constexpr unsigned kIdBits = 40;
+constexpr uint64_t kIdMask = (1ULL << kIdBits) - 1;
+
+struct VersionedExtractor {
+  KeyRef operator()(uint64_t value, KeyScratch& scratch) const {
+    EncodeU64(value & kIdMask, scratch.bytes);
+    return KeyRef(scratch.bytes, 8);
+  }
+};
+
+using StressTrie = RowexHotTrie<VersionedExtractor>;
+
+uint64_t MakeValue(uint64_t id, uint64_t version) {
+  return ((version & ((1ULL << 22) - 1)) << kIdBits) | id;
+}
+
+size_t OpsPerRound() {
+  const char* s = std::getenv("HOT_STRESS_OPS");
+  if (s != nullptr) {
+    unsigned long long v = std::strtoull(s, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 8000;
+}
+
+struct WriterState {
+  std::unordered_map<uint64_t, uint64_t> live;  // id -> last value
+  std::unordered_set<uint64_t> touched;         // every id ever used
+  uint64_t version = 1;
+};
+
+TEST(RowexStress, WritersAndReadersWithQuiesceValidation) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kReaders = 4;
+  constexpr size_t kRounds = 4;
+  constexpr uint64_t kRanksPerWriter = 4096;
+  const size_t ops_per_round = OpsPerRound();
+
+  StressTrie trie;
+  std::vector<WriterState> states(kWriters);
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    std::atomic<bool> stop_readers{false};
+
+    std::vector<std::thread> readers;
+    for (size_t r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&, r] {
+        SplitMix64 rng(0x9000 + round * 131 + r);
+        ZipfianGenerator zipf(kRanksPerWriter, 0.99, 0x77 + r);
+        while (!stop_readers.load(std::memory_order_acquire)) {
+          uint64_t id = (zipf.Next() << 4) | rng.NextBounded(kWriters);
+          if (rng.NextBounded(4) != 0) {
+            auto hit = trie.Lookup(U64Key(id).ref());
+            if (hit.has_value()) {
+              EXPECT_EQ(*hit & kIdMask, id);
+            }
+          } else {
+            uint64_t prev_id = 0;
+            bool first = true;
+            size_t n = trie.ScanFrom(U64Key(id).ref(), 32, [&](uint64_t v) {
+              uint64_t got = v & kIdMask;
+              if (first) {
+                EXPECT_GE(got, id);
+              } else {
+                EXPECT_GT(got, prev_id);
+              }
+              prev_id = got;
+              first = false;
+            });
+            EXPECT_LE(n, 32u);
+          }
+        }
+      });
+    }
+
+    std::vector<std::thread> writers;
+    for (size_t t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        WriterState& st = states[t];
+        SplitMix64 rng(0x1000 + round * 17 + t);
+        ZipfianGenerator zipf(kRanksPerWriter, 0.99, round * 31 + t + 1);
+        for (size_t op = 0; op < ops_per_round; ++op) {
+          uint64_t id = (zipf.Next() << 4) | t;
+          st.touched.insert(id);
+          uint64_t roll = rng.NextBounded(10);
+          if (roll < 4) {  // insert
+            uint64_t v = MakeValue(id, st.version++);
+            bool inserted = trie.Insert(v);
+            EXPECT_EQ(inserted, st.live.count(id) == 0)
+                << "insert disagreed with oracle for id " << id;
+            if (inserted) st.live[id] = v;
+          } else if (roll < 7) {  // upsert
+            uint64_t v = MakeValue(id, st.version++);
+            auto prev = trie.Upsert(v);
+            auto it = st.live.find(id);
+            if (it != st.live.end()) {
+              ASSERT_TRUE(prev.has_value());
+              EXPECT_EQ(*prev, it->second)
+                  << "upsert returned a stale value for id " << id;
+            } else {
+              EXPECT_FALSE(prev.has_value());
+            }
+            st.live[id] = v;
+          } else {  // remove
+            bool removed = trie.Remove(U64Key(id).ref());
+            EXPECT_EQ(removed, st.live.erase(id) > 0)
+                << "remove disagreed with oracle for id " << id;
+          }
+        }
+      });
+    }
+
+    for (auto& th : writers) th.join();
+    stop_readers.store(true, std::memory_order_release);
+    for (auto& th : readers) th.join();
+
+    // Quiesce point: no concurrent threads; check global invariants.
+    std::string err;
+    ASSERT_TRUE(trie.Validate(&err)) << "round " << round << ": " << err;
+    size_t expected = 0;
+    for (const auto& st : states) expected += st.live.size();
+    EXPECT_EQ(trie.size(), expected);
+    for (const auto& st : states) {
+      for (const auto& [id, v] : st.live) {
+        auto hit = trie.Lookup(U64Key(id).ref());
+        ASSERT_TRUE(hit.has_value()) << "live id " << id << " missing";
+        EXPECT_EQ(*hit, v) << "stale version for id " << id;
+      }
+      for (uint64_t id : st.touched) {
+        if (st.live.count(id) != 0) continue;
+        EXPECT_FALSE(trie.Lookup(U64Key(id).ref()).has_value())
+            << "removed id " << id << " still present";
+      }
+    }
+  }
+}
+
+// Readers hammering a handful of hot keys that writers continuously remove
+// and re-insert: maximizes copy-on-write replacement of the same slots, the
+// worst case for premature reclamation (ASan) and slot races (TSan).
+TEST(RowexStress, HotSpotChurn) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kReaders = 4;
+  constexpr uint64_t kHotKeys = 64;
+  const size_t ops = OpsPerRound();
+
+  StressTrie trie;
+  for (uint64_t id = 0; id < kHotKeys; ++id) {
+    ASSERT_TRUE(trie.Insert(MakeValue((id << 4) | (id % kWriters), 0)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      SplitMix64 rng(0xaa + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t hot = rng.NextBounded(kHotKeys);
+        uint64_t id = (hot << 4) | (hot % kWriters);
+        auto hit = trie.Lookup(U64Key(id).ref());
+        if (hit.has_value()) {
+          EXPECT_EQ(*hit & kIdMask, id);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      SplitMix64 rng(0xbb + t);
+      uint64_t version = 1;
+      for (size_t op = 0; op < ops; ++op) {
+        // Each writer churns its own residue class of the hot set.
+        uint64_t hot = rng.NextBounded(kHotKeys / kWriters) * kWriters + t;
+        uint64_t id = (hot << 4) | (hot % kWriters);
+        switch (rng.NextBounded(3)) {
+          case 0:
+            trie.Remove(U64Key(id).ref());
+            break;
+          case 1:
+            trie.Insert(MakeValue(id, version++));
+            break;
+          case 2:
+            trie.Upsert(MakeValue(id, version++));
+            break;
+        }
+      }
+    });
+  }
+
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  std::string err;
+  EXPECT_TRUE(trie.Validate(&err)) << err;
+}
+
+}  // namespace
+}  // namespace hot
