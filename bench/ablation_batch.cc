@@ -1,0 +1,202 @@
+// Batched-lookup ablation: sweeps the AMAC interleave width of
+// HotTrie::LookupBatch (hot/batch_lookup.h) from 1 to 32 on large integer
+// and email data sets, against the plain one-at-a-time Lookup loop as the
+// width-1 baseline.
+//
+// The point of the experiment: a single trie descent is a chain of
+// dependent DRAM misses, so scalar lookups leave the core's memory-level
+// parallelism (10+ line-fill buffers) idle.  Interleaving W independent
+// descents overlaps those misses; throughput should rise with W until the
+// LFBs saturate (around 10-16 on current x86) and then flatten.  At the
+// default 16M keys the index is far larger than the LLC, which is the
+// regime the optimization targets — at cache-resident sizes (--quick on a
+// small --n) the speedup shrinks toward 1.
+//
+// Usage: ablation_batch [--n=N] [--ops=N] [--seed=N] [--quick]
+//   --n       keys per data set (default 16M)
+//   --ops     probes per measurement (default: one per key)
+//   --quick   single repetition, 500k probe cap (CI smoke mode)
+//
+// Emits BENCH_ablation_batch.json with one row per (dataset, width).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "common/extractors.h"
+#include "common/rng.h"
+#include "hot/trie.h"
+#include "ycsb/datasets.h"
+#include "ycsb/report.h"
+
+using namespace hot;
+using namespace hot::ycsb;
+using namespace hot::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kWidths[] = {1, 2, 4, 8, 12, 16, 24, 32};
+
+struct Args {
+  size_t n = 16'000'000;
+  size_t ops = 0;  // 0 = one probe per key
+  uint64_t seed = 42;
+  bool quick = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (strncmp(s, "--n=", 4) == 0) a.n = ParseSizeWithSuffix(s + 4);
+    else if (strncmp(s, "--ops=", 6) == 0) a.ops = ParseSizeWithSuffix(s + 6);
+    else if (strncmp(s, "--seed=", 7) == 0) a.seed = strtoull(s + 7, nullptr, 10);
+    else if (strcmp(s, "--quick") == 0) a.quick = true;
+    else if (strcmp(s, "--help") == 0) {
+      printf("flags: --n=KEYS --ops=PROBES --seed=N --quick\n");
+      exit(0);
+    }
+  }
+  if (a.ops == 0) a.ops = a.n;
+  if (a.quick && a.ops > 500'000) a.ops = 500'000;
+  return a;
+}
+
+// Best-of-`reps` throughput for one arm.  `run` performs all probes and
+// returns the number found (checked against `expect` so a broken arm fails
+// loudly instead of reporting fantasy mops).
+template <typename RunFn>
+double Measure(unsigned reps, size_t ops, size_t expect, RunFn&& run) {
+  double best = 0;
+  for (unsigned r = 0; r < reps; ++r) {
+    auto t0 = Clock::now();
+    size_t hits = run();
+    auto t1 = Clock::now();
+    if (hits != expect) {
+      fprintf(stderr, "ablation_batch: arm found %zu of %zu probes\n", hits,
+              expect);
+      exit(1);
+    }
+    double mops =
+        static_cast<double>(ops) /
+        std::chrono::duration<double>(t1 - t0).count() / 1e6;
+    best = std::max(best, mops);
+  }
+  return best;
+}
+
+// Sweeps all widths for one loaded trie.  `probe_keys` are pre-materialized
+// so the scalar and batched arms execute identical key handling and differ
+// only in descent scheduling.
+template <typename Extractor>
+void Sweep(const char* dataset, const HotTrie<Extractor>& trie,
+           const std::vector<KeyRef>& probe_keys, unsigned reps, Table& table,
+           BenchJson& json) {
+  const size_t ops = probe_keys.size();
+  std::vector<std::optional<uint64_t>> out(ops);
+
+  double base = 0;
+  for (unsigned width : kWidths) {
+    double mops;
+    if (width == 1) {
+      // Baseline: the plain production Lookup loop, not LookupBatch(w=1),
+      // so the comparison includes the state-machine overhead.
+      mops = Measure(reps, ops, ops, [&] {
+        size_t hits = 0;
+        for (const KeyRef& k : probe_keys) hits += trie.Lookup(k).has_value();
+        return hits;
+      });
+      base = mops;
+    } else {
+      mops = Measure(reps, ops, ops, [&] {
+        trie.LookupBatch(probe_keys, out, width);
+        size_t hits = 0;
+        for (const auto& v : out) hits += v.has_value();
+        return hits;
+      });
+    }
+    double speedup = mops / base;
+    table.PrintRow({dataset, std::to_string(width), Fmt(mops),
+                    Fmt(speedup) + "x"});
+    JsonObject j;
+    j.Add("dataset", dataset)
+        .Add("width", width)
+        .Add("mops", mops)
+        .Add("speedup", speedup);
+    json.AddResult(j);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  unsigned reps = args.quick ? 1 : 2;
+  printf("ablation_batch: AMAC interleave width sweep, %zu keys, %zu probes "
+         "per arm, best of %u\n\n",
+         args.n, args.ops, reps);
+  BenchJson json("ablation_batch");
+  json.meta()
+      .Add("keys", args.n)
+      .Add("ops", args.ops)
+      .Add("seed", args.seed)
+      .Add("quick", args.quick)
+      .Add("default_width", kDefaultBatchWidth);
+
+  Table table({"dataset", "width", "mops", "speedup"});
+  table.PrintHeader();
+
+  {
+    DataSet ds = GenerateDataSet(DataSetKind::kInteger, args.n, args.seed);
+    std::vector<uint64_t> sorted = ds.ints;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    HotTrie<U64KeyExtractor> trie;
+    trie.BulkLoad(sorted);
+
+    SplitMix64 rng(args.seed ^ 0x5ca1ab1e);
+    std::vector<uint8_t> key_bytes(args.ops * 8);
+    std::vector<KeyRef> probe_keys(args.ops);
+    for (size_t i = 0; i < args.ops; ++i) {
+      EncodeU64(ds.ints[rng.NextBounded(ds.ints.size())], &key_bytes[i * 8]);
+      probe_keys[i] = KeyRef(&key_bytes[i * 8], 8);
+    }
+    Sweep("integer", trie, probe_keys, reps, table, json);
+  }
+
+  {
+    DataSet ds = GenerateDataSet(DataSetKind::kEmail, args.n, args.seed);
+    // Record ids sorted by their (null-terminated) string key, as BulkLoad
+    // requires values ascending in extracted-key order.
+    std::vector<uint64_t> ids(ds.strings.size());
+    std::iota(ids.begin(), ids.end(), uint64_t{0});
+    std::sort(ids.begin(), ids.end(), [&](uint64_t a, uint64_t b) {
+      return ds.strings[a] < ds.strings[b];
+    });
+    ids.erase(std::unique(ids.begin(), ids.end(),
+                          [&](uint64_t a, uint64_t b) {
+                            return ds.strings[a] == ds.strings[b];
+                          }),
+              ids.end());
+    HotTrie<StringTableExtractor> trie{StringTableExtractor(&ds.strings)};
+    trie.BulkLoad(ids);
+
+    SplitMix64 rng(args.seed ^ 0x0ddba11);
+    std::vector<KeyRef> probe_keys(args.ops);
+    for (size_t i = 0; i < args.ops; ++i) {
+      probe_keys[i] = TerminatedView(ds.strings[rng.NextBounded(ds.strings.size())]);
+    }
+    Sweep("email", trie, probe_keys, reps, table, json);
+  }
+
+  json.WriteFile();
+  return 0;
+}

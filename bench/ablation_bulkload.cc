@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/json_out.h"
 #include "common/extractors.h"
 #include "hot/stats.h"
 #include "hot/trie.h"
@@ -66,6 +67,9 @@ int main(int argc, char** argv) {
   lookup_keys.reserve(ds.size());
   for (uint32_t i : order) lookup_keys.emplace_back(ds.ints[i]);
 
+  bench::BenchJson json("ablation_bulkload");
+  json.meta().Add("keys", cfg.keys).Add("seed", cfg.seed);
+
   Table table({"build", "build-mops", "mean-depth", "max-depth", "bytes/key",
                "lookup-mops"});
   table.PrintHeader();
@@ -74,6 +78,14 @@ int main(int argc, char** argv) {
     table.PrintRow({name, Fmt(r.build_mops), Fmt(r.mean_depth),
                     std::to_string(r.max_depth), Fmt(r.bytes_per_key, 1),
                     Fmt(r.lookup_mops)});
+    bench::JsonObject j;
+    j.Add("build", name)
+        .Add("build_mops", r.build_mops)
+        .Add("mean_depth", r.mean_depth)
+        .Add("max_depth", r.max_depth)
+        .Add("bytes_per_key", r.bytes_per_key)
+        .Add("lookup_mops", r.lookup_mops);
+    json.AddResult(j);
   };
 
   {
@@ -107,5 +119,6 @@ int main(int argc, char** argv) {
   }
   printf("\n(bulk fixes the sorted-insertion depth pathology and builds "
          "several times faster; see DESIGN.md deviations)\n");
+  json.WriteFile();
   return 0;
 }

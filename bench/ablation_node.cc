@@ -9,7 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/extractors.h"
@@ -201,7 +203,56 @@ void BM_TrieLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieLookup);
 
+// The §4.5 prefetch ablation proper: the same descent loop as
+// HotTrie::Lookup with the prefetch compiled in or out, so the no-prefetch
+// arm carries no residual branch in the measured loop.
+template <bool kPrefetch>
+uint64_t DescendRaw(uint64_t root, KeyRef key) {
+  uint64_t cur = root;
+  while (HotEntry::IsNode(cur)) {
+    if constexpr (kPrefetch) PrefetchNode(cur);
+    NodeRef node = NodeRef::FromEntry(cur);
+    cur = node.values()[SearchNode(node, key)];
+  }
+  return cur;
+}
+
+template <bool kPrefetch>
+void BM_TrieLookupArm(benchmark::State& state) {
+  static TrieFixture fx;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DescendRaw<kPrefetch>(
+        fx.trie.root_entry(),
+        U64Key(fx.lookups[i++ % fx.lookups.size()]).ref()));
+  }
+}
+BENCHMARK_TEMPLATE(BM_TrieLookupArm, true)->Name("BM_TrieLookupPrefetch");
+BENCHMARK_TEMPLATE(BM_TrieLookupArm, false)->Name("BM_TrieLookupNoPrefetch");
+
 }  // namespace
 }  // namespace hot
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): default to writing
+// BENCH_ablation_node.json (google-benchmark's native JSON format) next to
+// the console report, matching the BENCH_<name>.json convention of the
+// other bench binaries.  An explicit --benchmark_out= wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_ablation_node.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "art/art.h"
+#include "bench/json_out.h"
 #include "common/extractors.h"
 #include "hot/stats.h"
 #include "hot/trie.h"
@@ -51,7 +52,8 @@ Row Measure(Index& index, MemoryCounter& counter, const DataSet& ds,
           static_cast<double>(hits) / secs / 1e6};
 }
 
-void RunForDataSet(const BenchConfig& cfg, DataSetKind kind) {
+void RunForDataSet(const BenchConfig& cfg, DataSetKind kind,
+                   bench::BenchJson& json) {
   DataSet ds = GenerateDataSet(kind, cfg.keys, cfg.seed);
   std::vector<uint32_t> order = LoadOrder(ds.size(), cfg.seed);
   printf("\n--- %s (%zu keys) ---\n", DataSetName(kind), ds.size());
@@ -61,6 +63,14 @@ void RunForDataSet(const BenchConfig& cfg, DataSetKind kind) {
   auto print = [&](const char* name, const Row& row) {
     table.PrintRow({name, Fmt(row.mean_depth), std::to_string(row.max_depth),
                     Fmt(row.bytes_per_key, 1), Fmt(row.lookup_mops)});
+    bench::JsonObject j;
+    j.Add("dataset", DataSetName(kind))
+        .Add("structure", name)
+        .Add("mean_depth", row.mean_depth)
+        .Add("max_depth", row.max_depth)
+        .Add("bytes_per_key", row.bytes_per_key)
+        .Add("lookup_mops", row.lookup_mops);
+    json.AddResult(j);
   };
 
   if (ds.IsString()) {
@@ -118,7 +128,10 @@ int main(int argc, char** argv) {
   if (cfg.keys > 500'000) cfg.keys = 500'000;  // span-1 trees are huge
   printf("ablation_span: static span (Fig. 2c) vs adaptive nodes (ART) vs "
          "adaptive span (HOT)\n");
-  RunForDataSet(cfg, DataSetKind::kInteger);
-  RunForDataSet(cfg, DataSetKind::kEmail);
+  bench::BenchJson json("ablation_span");
+  json.meta().Add("keys", cfg.keys).Add("seed", cfg.seed);
+  RunForDataSet(cfg, DataSetKind::kInteger, json);
+  RunForDataSet(cfg, DataSetKind::kEmail, json);
+  json.WriteFile();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/json_out.h"
 
 using namespace hot;
 using namespace hot::ycsb;
@@ -17,7 +18,14 @@ using namespace hot::bench;
 int main(int argc, char** argv) {
   BenchConfig cfg = ParseBenchConfig(argc, argv);
   printf("appendix_a: reproduces paper Appendix A (all workloads x data "
-         "sets x distributions), %zu keys, %zu ops\n", cfg.keys, cfg.ops);
+         "sets x distributions), %zu keys, %zu ops, batch %u\n",
+         cfg.keys, cfg.ops, cfg.batch);
+  BenchJson json("appendix_a");
+  json.meta()
+      .Add("keys", cfg.keys)
+      .Add("ops", cfg.ops)
+      .Add("batch", cfg.batch)
+      .Add("seed", cfg.seed);
   Table table({"workload", "dist", "dataset", "HOT", "ART", "Masstree", "BT"});
   table.PrintHeader();
   for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
@@ -30,14 +38,26 @@ int main(int argc, char** argv) {
       for (DataSetKind kind : kAllDataSets) {
         DataSet ds = GenerateDataSet(kind, CapacityFor(cfg.keys, cfg.ops, spec),
                                      cfg.seed);
-        auto results = RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed);
+        auto results =
+            RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed, cfg.batch);
         std::vector<std::string> row = {std::string(1, w),
                                         DistributionName(spec.dist),
                                         DataSetName(kind)};
-        for (const auto& r : results) row.push_back(Fmt(r.run.TxnMops()));
+        for (const auto& r : results) {
+          row.push_back(Fmt(r.run.TxnMops()));
+          JsonObject j;
+          j.Add("workload", std::string(1, w))
+              .Add("dist", DistributionName(spec.dist))
+              .Add("dataset", DataSetName(kind))
+              .Add("index", r.index)
+              .Add("mops", r.run.TxnMops())
+              .Add("failed_ops", r.run.failed_ops);
+          json.AddResult(j);
+        }
         table.PrintRow(row);
       }
     }
   }
+  json.WriteFile();
   return 0;
 }

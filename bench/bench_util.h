@@ -30,16 +30,18 @@ struct IndexResult {
 
 // Runs (load `load_n` keys, then `ops` transactions of `spec`) for each of
 // the four index structures on `ds`.  Results in paper order:
-// HOT, ART, Masstree, BT.
+// HOT, ART, Masstree, BT.  `batch` > 1 groups reads through the adapters'
+// MultiLookup hook (HOT runs its MLP batched lookup, the others loop).
 inline std::vector<IndexResult> RunAllIndexes(const ycsb::DataSet& ds,
                                               size_t load_n, size_t ops,
                                               const ycsb::WorkloadSpec& spec,
-                                              uint64_t seed) {
+                                              uint64_t seed,
+                                              unsigned batch = 1) {
   std::vector<IndexResult> out;
   auto run_one = [&](const char* name, auto make_adapter) {
     auto adapter = make_adapter();
     out.push_back({name, ycsb::RunBenchmark(*adapter, ds, load_n, ops, spec,
-                                            seed)});
+                                            seed, batch)});
   };
   if (ds.IsString()) {
     run_one("HOT", [&] {

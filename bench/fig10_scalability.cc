@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "art/art.h"
+#include "bench/json_out.h"
 #include "common/extractors.h"
 #include "hot/rowex.h"
 #include "masstree/masstree.h"
@@ -100,6 +101,22 @@ int main(int argc, char** argv) {
   DataSet ds = GenerateDataSet(DataSetKind::kUrl, cfg.keys, cfg.seed);
   std::vector<uint32_t> order = LoadOrder(ds.size(), cfg.seed);
 
+  bench::BenchJson json("fig10_scalability");
+  json.meta()
+      .Add("keys", cfg.keys)
+      .Add("ops", cfg.ops)
+      .Add("max_threads", max_threads)
+      .Add("seed", cfg.seed);
+  auto add_json = [&](unsigned threads, const char* index,
+                      const PhaseResult& r) {
+    bench::JsonObject j;
+    j.Add("threads", threads)
+        .Add("index", index)
+        .Add("insert_mops", r.insert_mops)
+        .Add("lookup_mops", r.lookup_mops);
+    json.AddResult(j);
+  };
+
   Table table({"threads", "index", "insert-mops", "lookup-mops",
                "ins-speedup", "look-speedup"});
   table.PrintHeader();
@@ -123,6 +140,7 @@ int main(int argc, char** argv) {
                       Fmt(r.insert_mops), Fmt(r.lookup_mops),
                       Fmt(r.insert_mops / hot_base_i) + "x",
                       Fmt(r.lookup_mops / hot_base_l) + "x"});
+      add_json(threads, "HOT(ROWEX)", r);
     }
     {
       ShardedIndex<ArtTree<StringTableExtractor>> art{
@@ -141,6 +159,7 @@ int main(int argc, char** argv) {
                       Fmt(r.insert_mops), Fmt(r.lookup_mops),
                       Fmt(r.insert_mops / art_base_i) + "x",
                       Fmt(r.lookup_mops / art_base_l) + "x"});
+      add_json(threads, "ART(shard)", r);
     }
     {
       ShardedIndex<Masstree<StringTableExtractor>> mass{
@@ -159,7 +178,9 @@ int main(int argc, char** argv) {
                       Fmt(r.insert_mops), Fmt(r.lookup_mops),
                       Fmt(r.insert_mops / mass_base_i) + "x",
                       Fmt(r.lookup_mops / mass_base_l) + "x"});
+      add_json(threads, "Masstree(shard)", r);
     }
   }
+  json.WriteFile();
   return 0;
 }

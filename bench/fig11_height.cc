@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/json_out.h"
 #include "hot/stats.h"
 #include "patricia/patricia.h"
 
@@ -37,9 +38,15 @@ DepthRow MeasureDepth(Index& index, InsertFn&& insert_all) {
   return {stats.Mean(), stats.max};
 }
 
-void Report(Table& table, const char* dataset, const char* index,
-            const DepthRow& row) {
+void Report(Table& table, BenchJson& json, const char* dataset,
+            const char* index, const DepthRow& row) {
   table.PrintRow({dataset, index, Fmt(row.mean), std::to_string(row.max)});
+  JsonObject j;
+  j.Add("dataset", dataset)
+      .Add("index", index)
+      .Add("mean_depth", row.mean)
+      .Add("max_depth", row.max);
+  json.AddResult(j);
 }
 
 }  // namespace
@@ -48,6 +55,8 @@ int main(int argc, char** argv) {
   BenchConfig cfg = ParseBenchConfig(argc, argv);
   printf("fig11_height: reproduces paper Figure 11 (leaf depth "
          "distribution, %zu keys)\n\n", cfg.keys);
+  BenchJson json("fig11_height");
+  json.meta().Add("keys", cfg.keys).Add("seed", cfg.seed);
   Table table({"dataset", "index", "mean-depth", "max-depth"});
   table.PrintHeader();
 
@@ -61,7 +70,7 @@ int main(int argc, char** argv) {
         auto row = MeasureDepth(hot, [&] {
           for (uint32_t i : order) hot.Insert(i);
         });
-        Report(table, DataSetName(kind), "HOT", row);
+        Report(table, json, DataSetName(kind), "HOT", row);
         hot_best = std::min(hot_best, row.mean);
         hot_worst = std::max(hot_worst, row.mean);
       }
@@ -70,7 +79,7 @@ int main(int argc, char** argv) {
         auto row = MeasureDepth(art, [&] {
           for (uint32_t i : order) art.Insert(i);
         });
-        Report(table, DataSetName(kind), "ART", row);
+        Report(table, json, DataSetName(kind), "ART", row);
       }
       {
         PatriciaTrie<StringTableExtractor> bin{
@@ -80,7 +89,7 @@ int main(int argc, char** argv) {
         DepthStats stats;
         bin.ForEachLeaf(
             [&](size_t depth, uint64_t) { stats.Add(static_cast<unsigned>(depth)); });
-        Report(table, DataSetName(kind), "BIN", {stats.Mean(), stats.max});
+        Report(table, json, DataSetName(kind), "BIN", {stats.Mean(), stats.max});
       }
     } else {
       {
@@ -88,7 +97,7 @@ int main(int argc, char** argv) {
         auto row = MeasureDepth(hot, [&] {
           for (uint32_t i : order) hot.Insert(ds.ints[i]);
         });
-        Report(table, DataSetName(kind), "HOT", row);
+        Report(table, json, DataSetName(kind), "HOT", row);
         hot_best = std::min(hot_best, row.mean);
         hot_worst = std::max(hot_worst, row.mean);
       }
@@ -97,7 +106,7 @@ int main(int argc, char** argv) {
         auto row = MeasureDepth(art, [&] {
           for (uint32_t i : order) art.Insert(ds.ints[i]);
         });
-        Report(table, DataSetName(kind), "ART", row);
+        Report(table, json, DataSetName(kind), "ART", row);
       }
       {
         PatriciaTrie<U64KeyExtractor> bin;
@@ -105,11 +114,12 @@ int main(int argc, char** argv) {
         DepthStats stats;
         bin.ForEachLeaf(
             [&](size_t depth, uint64_t) { stats.Add(static_cast<unsigned>(depth)); });
-        Report(table, DataSetName(kind), "BIN", {stats.Mean(), stats.max});
+        Report(table, json, DataSetName(kind), "BIN", {stats.Mean(), stats.max});
       }
     }
   }
   printf("\nHOT mean-depth stability: worst/best = %.2f (paper: <= 1.42)\n",
          hot_worst / hot_best);
+  json.WriteFile();
   return 0;
 }

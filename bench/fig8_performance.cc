@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "bench/json_out.h"
 
 using namespace hot;
 using namespace hot::ycsb;
@@ -23,24 +24,35 @@ using namespace hot::bench;
 
 namespace {
 
-void RunWorkloadRow(const BenchConfig& cfg, char workload) {
-  printf("\n=== Figure 8: workload %c (uniform), %zu keys, %zu ops ===\n",
-         workload, cfg.keys, cfg.ops);
+void RunWorkloadRow(const BenchConfig& cfg, char workload, BenchJson& json) {
+  printf("\n=== Figure 8: workload %c (uniform), %zu keys, %zu ops, "
+         "batch %u ===\n",
+         workload, cfg.keys, cfg.ops, cfg.batch);
   Table table({"dataset", "HOT", "ART", "Masstree", "BT", "metric"});
   table.PrintHeader();
   WorkloadSpec spec = YcsbWorkload(workload, Distribution::kUniform);
   for (DataSetKind kind : kAllDataSets) {
     DataSet ds = GenerateDataSet(kind, CapacityFor(cfg.keys, cfg.ops, spec),
                                  cfg.seed);
-    auto results = RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed);
+    auto results =
+        RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed, cfg.batch);
     std::vector<std::string> row = {DataSetName(kind)};
-    for (const auto& r : results) row.push_back(Fmt(r.run.TxnMops()));
+    for (const auto& r : results) {
+      row.push_back(Fmt(r.run.TxnMops()));
+      JsonObject j;
+      j.Add("workload", std::string(1, workload))
+          .Add("dataset", DataSetName(kind))
+          .Add("index", r.index)
+          .Add("mops", r.run.TxnMops())
+          .Add("failed_ops", r.run.failed_ops);
+      json.AddResult(j);
+    }
     row.push_back("mops");
     table.PrintRow(row);
   }
 }
 
-void RunInsertOnlyRow(const BenchConfig& cfg) {
+void RunInsertOnlyRow(const BenchConfig& cfg, BenchJson& json) {
   printf("\n=== Figure 8: insert-only (load phase), %zu keys ===\n",
          cfg.keys);
   Table table({"dataset", "HOT", "ART", "Masstree", "BT", "metric"});
@@ -51,7 +63,16 @@ void RunInsertOnlyRow(const BenchConfig& cfg) {
     // Zero transaction ops: we time only the load.
     auto results = RunAllIndexes(ds, cfg.keys, 0, spec, cfg.seed);
     std::vector<std::string> row = {DataSetName(kind)};
-    for (const auto& r : results) row.push_back(Fmt(r.run.LoadMops()));
+    for (const auto& r : results) {
+      row.push_back(Fmt(r.run.LoadMops()));
+      JsonObject j;
+      j.Add("workload", "load")
+          .Add("dataset", DataSetName(kind))
+          .Add("index", r.index)
+          .Add("mops", r.run.LoadMops())
+          .Add("failed_ops", r.run.failed_ops);
+      json.AddResult(j);
+    }
     row.push_back("mops");
     table.PrintRow(row);
   }
@@ -63,9 +84,16 @@ int main(int argc, char** argv) {
   BenchConfig cfg = ParseBenchConfig(argc, argv);
   printf("fig8_performance: reproduces paper Figure 8 (workloads C, E and "
          "insert-only across 4 data sets)\n");
+  BenchJson json("fig8_performance");
+  json.meta()
+      .Add("keys", cfg.keys)
+      .Add("ops", cfg.ops)
+      .Add("batch", cfg.batch)
+      .Add("seed", cfg.seed);
   bool all = cfg.filter.empty();
-  if (all || cfg.filter == "C") RunWorkloadRow(cfg, 'C');
-  if (all || cfg.filter == "E") RunWorkloadRow(cfg, 'E');
-  if (all || cfg.filter == "load") RunInsertOnlyRow(cfg);
+  if (all || cfg.filter == "C") RunWorkloadRow(cfg, 'C', json);
+  if (all || cfg.filter == "E") RunWorkloadRow(cfg, 'E', json);
+  if (all || cfg.filter == "load") RunInsertOnlyRow(cfg, json);
+  json.WriteFile();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/json_out.h"
 
 using namespace hot;
 using namespace hot::ycsb;
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
   BenchConfig cfg = ParseBenchConfig(argc, argv);
   printf("fig9_memory: reproduces paper Figure 9 (index memory after "
          "loading %zu keys)\n\n", cfg.keys);
+  BenchJson json("fig9_memory");
+  json.meta().Add("keys", cfg.keys).Add("seed", cfg.seed);
   Table table({"dataset", "index", "total", "bytes/key", "vs-tids",
                "vs-rawkeys"});
   table.PrintHeader();
@@ -42,6 +45,12 @@ int main(int argc, char** argv) {
                       Fmt(bpk / tid_floor, 2) + "x",
                       ds.IsString() ? Fmt(bpk / raw_key_bytes_per_key, 2) + "x"
                                     : std::string("-")});
+      JsonObject j;
+      j.Add("dataset", DataSetName(kind))
+          .Add("index", r.index)
+          .Add("total_bytes", r.run.memory_bytes)
+          .Add("bytes_per_key", bpk);
+      json.AddResult(j);
     }
     if (ds.IsString()) {
       printf("  (raw %s keys: %s total, %.1f bytes/key)\n", DataSetName(kind),
@@ -50,5 +59,6 @@ int main(int argc, char** argv) {
   }
   printf("\n(8-byte tid floor: %s at this scale)\n",
          FmtBytes(cfg.keys * 8).c_str());
+  json.WriteFile();
   return 0;
 }

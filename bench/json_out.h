@@ -1,0 +1,160 @@
+// Machine-readable benchmark output: every bench binary writes a
+// BENCH_<name>.json next to its stdout table so the repository's perf
+// trajectory accumulates across commits (CI uploads the files as
+// artifacts; bench/ablation_batch.cc's acceptance numbers live here too).
+//
+// Format:
+//   {
+//     "bench": "<name>",
+//     "meta": { ...one flat object of configuration... },
+//     "results": [ { ...one flat object per row... }, ... ]
+//   }
+//
+// Deliberately dependency-free: a tiny append-only emitter, not a JSON
+// library.  Keys are emitted in insertion order; values are numbers,
+// strings, or booleans.
+
+#ifndef HOT_BENCH_JSON_OUT_H_
+#define HOT_BENCH_JSON_OUT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hot {
+namespace bench {
+
+// One flat JSON object built by chained Add() calls.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, const std::string& value) {
+    AppendKey(key);
+    body_ += Quote(value);
+    return *this;
+  }
+  JsonObject& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonObject& Add(const std::string& key, double value) {
+    AppendKey(key);
+    if (!std::isfinite(value)) {
+      body_ += "null";
+    } else {
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%.6g", value);
+      body_ += buf;
+    }
+    return *this;
+  }
+  JsonObject& Add(const std::string& key, uint64_t value) {
+    AppendKey(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonObject& Add(const std::string& key, unsigned value) {
+    return Add(key, static_cast<uint64_t>(value));
+  }
+  JsonObject& Add(const std::string& key, int value) {
+    AppendKey(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonObject& Add(const std::string& key, bool value) {
+    AppendKey(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  std::string Dump() const { return "{" + body_ + "}"; }
+  bool empty() const { return body_.empty(); }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  void AppendKey(const std::string& key) {
+    if (!body_.empty()) body_ += ",";
+    body_ += Quote(key) + ":";
+  }
+
+  std::string body_;
+};
+
+// Collects rows for one bench run and writes BENCH_<name>.json into the
+// working directory (next to the stdout report) on WriteFile() — called
+// from the destructor as a safety net, so a bench that returns early still
+// leaves its partial trajectory behind.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() {
+    if (!written_) WriteFile();
+  }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  JsonObject& meta() { return meta_; }
+  void AddResult(const JsonObject& row) { results_.push_back(row.Dump()); }
+
+  bool WriteFile() {
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "json_out: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\"bench\":\"" + name_ + "\",\"meta\":" +
+                      (meta_.empty() ? "{}" : meta_.Dump()) + ",\"results\":[";
+    for (size_t i = 0; i < results_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += results_[i];
+    }
+    out += "]}\n";
+    fwrite(out.data(), 1, out.size(), f);
+    fclose(f);
+    printf("wrote %s (%zu results)\n", path.c_str(), results_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  JsonObject meta_;
+  std::vector<std::string> results_;
+  bool written_ = false;
+};
+
+}  // namespace bench
+}  // namespace hot
+
+#endif  // HOT_BENCH_JSON_OUT_H_

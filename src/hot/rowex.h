@@ -31,11 +31,14 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/epoch.h"
 #include "common/extractors.h"
+#include "hot/batch_lookup.h"
 #include "hot/fast_insert.h"
 #include "common/key.h"
 #include "hot/logical_node.h"
@@ -72,8 +75,8 @@ class RowexHotTrie {
     EpochGuard guard(&epochs_);
     uint64_t cur = root_.load(std::memory_order_acquire);
     while (HotEntry::IsNode(cur)) {
+      PrefetchNode(cur);
       NodeRef node = NodeRef::FromEntry(cur);
-      node.Prefetch();
       unsigned idx = SearchNode(node, key);
       cur = LoadSlot(&node.values()[idx]);
     }
@@ -83,6 +86,40 @@ class RowexHotTrie {
       return HotEntry::TidPayload(cur);
     }
     return std::nullopt;
+  }
+
+  // Batched wait-free point lookups (hot/batch_lookup.h): out[i] =
+  // Lookup(keys[i]) with up to `width` interleaved descents so DRAM misses
+  // overlap.  The whole batch runs under a single epoch guard — one
+  // pin/unpin instead of |keys| — and every slot read is an acquire load,
+  // so each probe sees some consistent recent state of each node it
+  // traverses, exactly like scalar Lookup.  Nodes retired by concurrent
+  // writers stay alive until the guard is released.
+  void LookupBatch(std::span<const KeyRef> keys,
+                   std::span<std::optional<uint64_t>> out,
+                   unsigned width = kDefaultBatchWidth) const {
+    assert(out.size() >= keys.size());
+    size_t n = keys.size();
+    if (n == 0) return;
+    EpochGuard guard(&epochs_);
+    uint64_t root = root_.load(std::memory_order_acquire);
+    if (!HotEntry::IsNode(root)) {
+      for (size_t i = 0; i < n; ++i) out[i] = VerifyTerminal(root, keys[i]);
+      return;
+    }
+    constexpr size_t kInlineTerminals = 256;
+    uint64_t inline_buf[kInlineTerminals];
+    std::vector<uint64_t> heap_buf;
+    uint64_t* terminal = inline_buf;
+    if (n > kInlineTerminals) {
+      heap_buf.resize(n);
+      terminal = heap_buf.data();
+    }
+    BatchDescend<AcquireSlotLoad>(root, keys.data(), n, terminal, width,
+                                  [](uint32_t, NodeRef, unsigned) {});
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = VerifyTerminal(terminal[i], keys[i]);
+    }
   }
 
   // Visits up to `limit` values with key >= start in key order.  Wait-free
@@ -230,10 +267,16 @@ class RowexHotTrie {
 
  private:
   static uint64_t LoadSlot(const uint64_t* slot) {
-    // atomic_ref<const T> arrives only in C++26; the slot object is never
-    // actually const.
-    return std::atomic_ref<uint64_t>(*const_cast<uint64_t*>(slot))
-        .load(std::memory_order_acquire);
+    return AcquireSlotLoad::Load(slot);
+  }
+
+  std::optional<uint64_t> VerifyTerminal(uint64_t entry, KeyRef key) const {
+    if (HotEntry::IsEmpty(entry)) return std::nullopt;
+    KeyScratch scratch;
+    if (extractor_(HotEntry::TidPayload(entry), scratch) == key) {
+      return HotEntry::TidPayload(entry);
+    }
+    return std::nullopt;
   }
   static void StoreSlot(uint64_t* slot, uint64_t value) {
     std::atomic_ref<uint64_t>(*slot).store(value, std::memory_order_release);
@@ -345,8 +388,8 @@ class RowexHotTrie {
     unsigned depth = 0;
     uint64_t cur = root;
     while (HotEntry::IsNode(cur)) {
+      PrefetchNode(cur);
       NodeRef node = NodeRef::FromEntry(cur);
-      node.Prefetch();
       unsigned idx = SearchNode(node, key);
       path[depth++] = {node, idx};
       cur = LoadSlot(&node.values()[idx]);
@@ -606,8 +649,8 @@ class RowexHotTrie {
     unsigned idx = 0;
     uint64_t cur = root;
     while (HotEntry::IsNode(cur)) {
+      PrefetchNode(cur);
       node = NodeRef::FromEntry(cur);
-      node.Prefetch();
       idx = SearchNode(node, key);
       cur = LoadSlot(&node.values()[idx]);
     }

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "common/alloc.h"
 #include "common/extractors.h"
 #include "common/key.h"
+#include "hot/batch_lookup.h"
 #include "hot/bulk_load.h"
 #include "hot/fast_insert.h"
 #include "hot/logical_node.h"
@@ -91,6 +93,14 @@ class HotTrie {
 
   std::optional<uint64_t> Lookup(KeyRef key) const;
 
+  // Batched point lookups with memory-level parallelism (batch_lookup.h):
+  // out[i] = Lookup(keys[i]), bit-identical.  Up to `width` descents stay
+  // in flight so their DRAM misses overlap; out must be at least as long
+  // as keys.
+  void LookupBatch(std::span<const KeyRef> keys,
+                   std::span<std::optional<uint64_t>> out,
+                   unsigned width = kDefaultBatchWidth) const;
+
   // Ordered iteration.  An Iterator is valid() while it points at an entry.
   class Iterator;
   Iterator Begin() const;
@@ -98,6 +108,11 @@ class HotTrie {
   Iterator Last() const;
   // First entry with key >= `key`.
   Iterator LowerBound(KeyRef key) const;
+  // Batched LowerBound: out[i] = LowerBound(keys[i]).  The blind descents
+  // — the cache-miss-dominated phase — run interleaved; repositioning then
+  // walks the just-touched (cache-hot) path per key.
+  void LowerBoundBatch(std::span<const KeyRef> keys, Iterator* out,
+                       unsigned width = kDefaultBatchWidth) const;
   // First entry with key > `key`.
   Iterator UpperBound(KeyRef key) const;
 
@@ -142,6 +157,20 @@ class HotTrie {
   KeyRef ExtractKey(uint64_t tagged_entry, KeyScratch& scratch) const {
     return extractor_(HotEntry::TidPayload(tagged_entry), scratch);
   }
+
+  // Final verification of a terminal entry against the search key (Listing
+  // 2 line 7); shared by scalar and batched lookups.
+  std::optional<uint64_t> VerifyTerminal(uint64_t entry, KeyRef key) const {
+    if (HotEntry::IsEmpty(entry)) return std::nullopt;
+    KeyScratch scratch;
+    if (ExtractKey(entry, scratch) == key) return HotEntry::TidPayload(entry);
+    return std::nullopt;
+  }
+
+  // Repositions `it` — holding the blind-descent path for `key` with
+  // terminal entry `cur` — at the first entry >= key (paper §3.1: the
+  // mismatching BiNode orders the whole affected subtree on one bit).
+  void RepositionLowerBound(Iterator& it, KeyRef key, uint64_t cur) const;
 
   // Stores `entry` into the slot that pointed at path[level]'s node:
   // the parent's value slot, or the root.
@@ -217,8 +246,8 @@ bool HotTrie<KeyExtractor>::Insert(uint64_t value) {
   unsigned depth = 0;
   uint64_t cur = root_;
   while (HotEntry::IsNode(cur)) {
+    PrefetchNode(cur);
     NodeRef node = NodeRef::FromEntry(cur);
-    node.Prefetch();
     unsigned idx = SearchNode(node, key);
     path[depth++] = {node, idx};
     cur = node.values()[idx];
@@ -365,16 +394,37 @@ template <typename KeyExtractor>
 std::optional<uint64_t> HotTrie<KeyExtractor>::Lookup(KeyRef key) const {
   uint64_t cur = root_;
   while (HotEntry::IsNode(cur)) {
+    PrefetchNode(cur);
     NodeRef node = NodeRef::FromEntry(cur);
-    node.Prefetch();
     cur = node.values()[SearchNode(node, key)];
   }
-  if (HotEntry::IsEmpty(cur)) return std::nullopt;
   // Final verification against the stored key (Listing 2 line 7): the
   // Patricia search may return a false positive.
-  KeyScratch scratch;
-  if (ExtractKey(cur, scratch) == key) return HotEntry::TidPayload(cur);
-  return std::nullopt;
+  return VerifyTerminal(cur, key);
+}
+
+template <typename KeyExtractor>
+void HotTrie<KeyExtractor>::LookupBatch(std::span<const KeyRef> keys,
+                                        std::span<std::optional<uint64_t>> out,
+                                        unsigned width) const {
+  assert(out.size() >= keys.size());
+  size_t n = keys.size();
+  if (n == 0) return;
+  if (!HotEntry::IsNode(root_)) {
+    for (size_t i = 0; i < n; ++i) out[i] = VerifyTerminal(root_, keys[i]);
+    return;
+  }
+  constexpr size_t kInlineTerminals = 256;
+  uint64_t inline_buf[kInlineTerminals];
+  std::vector<uint64_t> heap_buf;
+  uint64_t* terminal = inline_buf;
+  if (n > kInlineTerminals) {
+    heap_buf.resize(n);
+    terminal = heap_buf.data();
+  }
+  BatchDescend<PlainSlotLoad>(root_, keys.data(), n, terminal, width,
+                              [](uint32_t, NodeRef, unsigned) {});
+  for (size_t i = 0; i < n; ++i) out[i] = VerifyTerminal(terminal[i], keys[i]);
 }
 
 // ---------------------------------------------------------------------------
@@ -535,12 +585,19 @@ typename HotTrie<KeyExtractor>::Iterator HotTrie<KeyExtractor>::LowerBound(
     it.levels_[it.depth_++] = {node, idx};
     cur = node.values()[idx];
   }
+  RepositionLowerBound(it, key, cur);
+  return it;
+}
+
+template <typename KeyExtractor>
+void HotTrie<KeyExtractor>::RepositionLowerBound(Iterator& it, KeyRef key,
+                                                 uint64_t cur) const {
   KeyScratch scratch;
   KeyRef cand = ExtractKey(cur, scratch);
   size_t p = FirstMismatchBit(key, cand);
   if (p == kNoMismatch) {
     it.current_ = cur;  // exact hit
-    return it;
+    return;
   }
 
   // Everything under the mismatching BiNode shares the search key's prefix
@@ -565,7 +622,30 @@ typename HotTrie<KeyExtractor>::Iterator HotTrie<KeyExtractor>::LowerBound(
     it.DescendRightmost(tnode.values()[range.last]);
     it.Next();
   }
-  return it;
+}
+
+template <typename KeyExtractor>
+void HotTrie<KeyExtractor>::LowerBoundBatch(std::span<const KeyRef> keys,
+                                            Iterator* out,
+                                            unsigned width) const {
+  size_t n = keys.size();
+  if (n == 0) return;
+  if (!HotEntry::IsNode(root_)) {
+    // Empty or single-tid root: no descent to interleave.
+    for (size_t i = 0; i < n; ++i) out[i] = LowerBound(keys[i]);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) out[i].Reset();
+  std::vector<uint64_t> terminal(n);
+  BatchDescend<PlainSlotLoad>(
+      root_, keys.data(), n, terminal.data(), width,
+      [&](uint32_t i, NodeRef node, unsigned idx) {
+        Iterator& it = out[i];
+        it.levels_[it.depth_++] = {node, idx};
+      });
+  for (size_t i = 0; i < n; ++i) {
+    RepositionLowerBound(out[i], keys[i], terminal[i]);
+  }
 }
 
 template <typename KeyExtractor>

@@ -23,6 +23,7 @@ struct BenchConfig {
   size_t keys = 1'000'000;
   size_t ops = 2'000'000;
   unsigned threads = 0;  // 0 = hardware concurrency
+  unsigned batch = 1;    // read-batch width (1 = scalar lookups)
   uint64_t seed = 42;
   std::string filter;  // optional: restrict workloads/datasets
 };
@@ -51,10 +52,12 @@ inline BenchConfig ParseBenchConfig(int argc, char** argv) {
     if (strncmp(a, "--keys=", 7) == 0) cfg.keys = ParseSizeWithSuffix(a + 7);
     else if (strncmp(a, "--ops=", 6) == 0) cfg.ops = ParseSizeWithSuffix(a + 6);
     else if (strncmp(a, "--threads=", 10) == 0) cfg.threads = atoi(a + 10);
+    else if (strncmp(a, "--batch=", 8) == 0) cfg.batch = atoi(a + 8);
     else if (strncmp(a, "--seed=", 7) == 0) cfg.seed = strtoull(a + 7, nullptr, 10);
     else if (strncmp(a, "--workload=", 11) == 0) cfg.filter = a + 11;
     else if (strcmp(a, "--help") == 0) {
-      printf("flags: --keys=N --ops=N --threads=N --seed=N --workload=F\n");
+      printf("flags: --keys=N --ops=N --threads=N --batch=N --seed=N "
+             "--workload=F\n");
       exit(0);
     }
   }

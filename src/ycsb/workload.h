@@ -118,10 +118,17 @@ inline std::vector<uint32_t> LoadOrder(size_t n, uint64_t seed) {
 // Runs load + transaction phase.  The data set must hold at least
 // load_n + (expected inserts) records; insert operations consume records
 // load_n, load_n+1, ... in order.
+//
+// `batch` > 1 turns on batched reads: read operations accumulate into a
+// group that is flushed through the adapter's MultiLookup hook when it
+// reaches `batch` entries — or earlier, whenever a mutating operation (or
+// a scan/rmw) arrives, so reads never reorder across writes.  Read-heavy
+// workloads (B, C) thus run almost entirely in full batches and exercise
+// the index's memory-level-parallel lookup path.
 template <typename Adapter>
 RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
                        size_t txn_ops, const WorkloadSpec& spec,
-                       uint64_t seed = 7) {
+                       uint64_t seed = 7, unsigned batch = 1) {
   using Clock = std::chrono::steady_clock;
   RunResult result;
 
@@ -158,22 +165,40 @@ RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
     return 0;
   };
 
+  std::vector<uint32_t> pending;  // batched-read group (batch > 1)
+  if (batch > 1) pending.reserve(batch);
+  auto flush_reads = [&] {
+    if (pending.empty()) return;
+    size_t hits = adapter.MultiLookup(pending.data(), pending.size());
+    result.failed_ops += pending.size() - hits;
+    pending.clear();
+  };
+
   auto t2 = Clock::now();
   for (size_t op = 0; op < txn_ops; ++op) {
     double p = rng.NextDouble();
     if (p < spec.read) {
+      if (batch > 1) {
+        pending.push_back(static_cast<uint32_t>(pick_record()));
+        if (pending.size() >= batch) flush_reads();
+        continue;
+      }
       if (!adapter.LookupRecord(pick_record())) ++result.failed_ops;
     } else if (p < spec.read + spec.update) {
+      flush_reads();
       if (!adapter.UpdateRecord(pick_record(), op)) ++result.failed_ops;
     } else if (p < spec.read + spec.update + spec.rmw) {
+      flush_reads();
       size_t r = pick_record();
       if (!adapter.LookupRecord(r)) ++result.failed_ops;
       adapter.UpdateRecord(r, op);
     } else if (p < spec.read + spec.update + spec.rmw + spec.scan) {
+      flush_reads();
       size_t len = 1 + rng.NextBounded(spec.max_scan_len);
       adapter.ScanRecord(pick_record(), len);
     } else {
       // insert
+      flush_reads();
       if (next_insert < capacity) {
         if (!adapter.InsertRecord(static_cast<uint32_t>(next_insert))) {
           ++result.failed_ops;
@@ -187,6 +212,7 @@ RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
       }
     }
   }
+  flush_reads();
   auto t3 = Clock::now();
   result.txn_ops = txn_ops;
   result.txn_seconds = std::chrono::duration<double>(t3 - t2).count();

@@ -141,6 +141,70 @@ TEST_F(IteratorTest, ReverseScanMatchesOracle) {
   EXPECT_EQ(got[0], *oracle_.rbegin());
 }
 
+TEST_F(IteratorTest, EmptyTrieScansVisitNothing) {
+  size_t visited = 0;
+  EXPECT_EQ(trie_.ScanFrom(U64Key(0).ref(), 10, [&](uint64_t) { ++visited; }),
+            0u);
+  EXPECT_EQ(trie_.ScanReverseFrom(U64Key(~0ULL >> 1).ref(), 10,
+                                  [&](uint64_t) { ++visited; }),
+            0u);
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST_F(IteratorTest, LowerBoundPastLastAndBeforeFirst) {
+  Fill(10000, 11);
+  uint64_t lo = *oracle_.begin(), hi = *oracle_.rbegin();
+
+  // Key strictly greater than every entry: no lower bound.
+  EXPECT_FALSE(trie_.LowerBound(U64Key(hi + 1).ref()).valid());
+  // Exactly the maximum: the maximum itself.
+  auto at_max = trie_.LowerBound(U64Key(hi).ref());
+  ASSERT_TRUE(at_max.valid());
+  EXPECT_EQ(at_max.value(), hi);
+
+  // Key strictly below every entry: the minimum (and only then, if lo > 0).
+  if (lo > 0) {
+    auto before = trie_.LowerBound(U64Key(lo - 1).ref());
+    ASSERT_TRUE(before.valid());
+    EXPECT_EQ(before.value(), lo);
+  }
+  auto at_zero = trie_.LowerBound(U64Key(0).ref());
+  ASSERT_TRUE(at_zero.valid());
+  EXPECT_EQ(at_zero.value(), lo);
+}
+
+TEST_F(IteratorTest, ScanEdgesPastLastAndBeforeFirst) {
+  Fill(10000, 12);
+  uint64_t lo = *oracle_.begin(), hi = *oracle_.rbegin();
+
+  // Forward scan starting past the last entry: nothing.
+  std::vector<uint64_t> got;
+  EXPECT_EQ(trie_.ScanFrom(U64Key(hi + 1).ref(), 10,
+                           [&](uint64_t v) { got.push_back(v); }),
+            0u);
+  EXPECT_TRUE(got.empty());
+
+  // Forward scan from before the first entry: starts at the minimum.
+  trie_.ScanFrom(U64Key(0).ref(), 3, [&](uint64_t v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], lo);
+
+  // Reverse scan from below the minimum: nothing precedes it.
+  got.clear();
+  if (lo > 0) {
+    EXPECT_EQ(trie_.ScanReverseFrom(U64Key(lo - 1).ref(), 10,
+                                    [&](uint64_t v) { got.push_back(v); }),
+              0u);
+    EXPECT_TRUE(got.empty());
+  }
+
+  // Reverse scan from past the maximum: starts at the maximum.
+  trie_.ScanReverseFrom(U64Key(hi + 1).ref(), 3,
+                        [&](uint64_t v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], hi);
+}
+
 TEST_F(IteratorTest, StringReverseScans) {
   std::vector<std::string> table = {"apple", "banana", "cherry", "date",
                                     "elderberry", "fig", "grape"};

@@ -54,10 +54,11 @@ TEST(NodeLayout, EntryTagging) {
   EXPECT_EQ(HotEntry::TidPayload(tid), 0x1234u);
 
   alignas(32) static char fake_node[64];
-  uint64_t e = HotEntry::MakeNode(fake_node, NodeType::kMultiMask16x32);
+  uint64_t e = HotEntry::MakeNode(fake_node, NodeType::kMultiMask16x32, 64);
   EXPECT_TRUE(HotEntry::IsNode(e));
   EXPECT_FALSE(HotEntry::IsTid(e));
   EXPECT_EQ(HotEntry::Type(e), NodeType::kMultiMask16x32);
+  EXPECT_EQ(HotEntry::NodeSizeBytes(e), 64u);
   EXPECT_EQ(HotEntry::NodePtr(e), static_cast<void*>(fake_node));
   EXPECT_FALSE(HotEntry::IsNode(HotEntry::kEmpty));
   EXPECT_FALSE(HotEntry::IsTid(HotEntry::kEmpty));

@@ -27,6 +27,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -176,6 +178,106 @@ TEST(RowexStress, WritersAndReadersWithQuiesceValidation) {
             << "removed id " << id << " still present";
       }
     }
+  }
+}
+
+// Batched readers (LookupBatch: one epoch guard covering an interleaved
+// AMAC descent of the whole group, hot/batch_lookup.h) racing writers that
+// continuously replace nodes copy-on-write.  Any hit must carry the probed
+// key's id — the batch must never surface a torn or reclaimed entry.  This
+// is the sanitizer-tier gate for the memory-level-parallel lookup path.
+TEST(RowexStress, BatchedReadersRacingWriters) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kReaders = 4;
+  constexpr uint64_t kRanksPerWriter = 4096;
+  constexpr size_t kBatch = 32;
+  const size_t ops = OpsPerRound();
+
+  StressTrie trie;
+  // Pre-populate half of each writer's id space so batches see real hits
+  // from the first iteration.
+  for (uint64_t rank = 0; rank < kRanksPerWriter; rank += 2) {
+    for (uint64_t t = 0; t < kWriters; ++t) {
+      trie.Insert(MakeValue((rank << 4) | t, 0));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      SplitMix64 rng(0xcc00 + r);
+      ZipfianGenerator zipf(kRanksPerWriter, 0.99, 0x33 + r);
+      uint64_t ids[kBatch];
+      uint8_t bytes[kBatch * 8];
+      std::vector<KeyRef> keys(kBatch);
+      std::vector<std::optional<uint64_t>> out(kBatch);
+      while (!stop.load(std::memory_order_acquire)) {
+        // Vary the batch size and interleave width every round so partial
+        // tail groups and width-1 degeneration race writers too.
+        size_t n = 1 + rng.NextBounded(kBatch);
+        unsigned width = 1 + static_cast<unsigned>(rng.NextBounded(16));
+        for (size_t i = 0; i < n; ++i) {
+          ids[i] = (zipf.Next() << 4) | rng.NextBounded(kWriters);
+          EncodeU64(ids[i], &bytes[i * 8]);
+          keys[i] = KeyRef(&bytes[i * 8], 8);
+        }
+        trie.LookupBatch(std::span<const KeyRef>(keys.data(), n),
+                         std::span<std::optional<uint64_t>>(out.data(), n),
+                         width);
+        for (size_t i = 0; i < n; ++i) {
+          if (out[i].has_value()) {
+            EXPECT_EQ(*out[i] & kIdMask, ids[i]);
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      SplitMix64 rng(0xdd00 + t);
+      ZipfianGenerator zipf(kRanksPerWriter, 0.99, 0x55 + t);
+      uint64_t version = 1;
+      for (size_t op = 0; op < ops; ++op) {
+        uint64_t id = (zipf.Next() << 4) | t;
+        switch (rng.NextBounded(3)) {
+          case 0:
+            trie.Insert(MakeValue(id, version++));
+            break;
+          case 1:
+            trie.Upsert(MakeValue(id, version++));
+            break;
+          case 2:
+            trie.Remove(U64Key(id).ref());
+            break;
+        }
+      }
+    });
+  }
+
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  std::string err;
+  EXPECT_TRUE(trie.Validate(&err)) << err;
+
+  // Post-quiesce: batched and scalar lookups agree exactly.
+  std::vector<uint8_t> bytes(kRanksPerWriter * kWriters * 8);
+  std::vector<KeyRef> keys(kRanksPerWriter * kWriters);
+  std::vector<std::optional<uint64_t>> out(keys.size());
+  size_t i = 0;
+  for (uint64_t rank = 0; rank < kRanksPerWriter; ++rank) {
+    for (uint64_t t = 0; t < kWriters; ++t, ++i) {
+      EncodeU64((rank << 4) | t, &bytes[i * 8]);
+      keys[i] = KeyRef(&bytes[i * 8], 8);
+    }
+  }
+  trie.LookupBatch(keys, out);
+  for (size_t k = 0; k < keys.size(); ++k) {
+    EXPECT_EQ(out[k], trie.Lookup(keys[k]));
   }
 }
 
