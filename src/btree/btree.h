@@ -18,6 +18,7 @@
 #include <cstring>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "common/alloc.h"
 #include "common/extractors.h"
@@ -147,13 +148,50 @@ class BTree {
     return h;
   }
 
+  // Structural audit for the testing subsystem: occupancy bounds, strict
+  // composite-key ordering within and across leaves, separator bounds
+  // (separator = smallest key of its right subtree, so child i holds keys
+  // in [keys[i-1], keys[i]) with an inclusive lower bound), uniform leaf
+  // depth, leaf prev/next chain consistency, key-word/extractor agreement,
+  // and the size counter.  Quiescent-only; returns false and fills `error`
+  // on the first violation.
+  bool CheckStructure(std::string* error) const {
+    auto fail = [&](const std::string& msg) {
+      if (error != nullptr) *error = "btree: " + msg;
+      return false;
+    };
+    if (root_ == nullptr) {
+      if (size_ != 0) {
+        return fail("null root but size " + std::to_string(size_));
+      }
+      return true;
+    }
+    int leaf_depth = -1;
+    const LeafNode* prev_leaf = nullptr;
+    size_t total = 0;
+    if (!CheckRec(root_, 1, nullptr, nullptr, &leaf_depth, &prev_leaf, &total,
+                  error)) {
+      return false;
+    }
+    if (prev_leaf == nullptr || prev_leaf->next != nullptr) {
+      return fail("leaf chain does not end at the rightmost leaf");
+    }
+    if (total != size_) {
+      return fail("leaf keys " + std::to_string(total) + " != size " +
+                  std::to_string(size_));
+    }
+    return true;
+  }
+
  private:
   // 8-byte big-endian word of the key's first bytes: word order equals
   // lexicographic byte order on the prefix.
   static uint64_t KeyWord(KeyRef key) {
     if (key.size() >= 8) return LoadBigEndian64(key.data());
     uint8_t buf[8] = {0};
-    std::memcpy(buf, key.data(), key.size());
+    // key.data() is null for the empty key; memcpy forbids null even with
+    // size 0.
+    if (key.size() > 0) std::memcpy(buf, key.data(), key.size());
     return LoadBigEndian64(buf);
   }
 
@@ -228,6 +266,100 @@ class BTree {
 
   bool KeyEquals(const CompositeKey& stored, KeyRef key) const {
     return Compare(stored, key) == 0;
+  }
+
+  // Three-way comparison of two stored composite keys: the word decides,
+  // ties resolve through the extractor (full lexicographic order).
+  int CompareComposite(const CompositeKey& a, const CompositeKey& b) const {
+    if (a.word != b.word) return a.word < b.word ? -1 : 1;
+    if (a.tid == b.tid) return 0;
+    KeyScratch sa, sb;
+    KeyRef ka = extractor_(a.tid, sa);
+    KeyRef kb = extractor_(b.tid, sb);
+    return ka.Compare(kb);
+  }
+
+  // `lo`/`hi` bound every composite key in the subtree: lo <= k < hi
+  // (either may be null = unbounded).  Leaves are visited left-to-right,
+  // threading `prev_leaf` to validate the chain.
+  bool CheckRec(const NodeHeader* node, unsigned depth, const CompositeKey* lo,
+                const CompositeKey* hi, int* leaf_depth,
+                const LeafNode** prev_leaf, size_t* total,
+                std::string* error) const {
+    auto fail = [&](const std::string& msg) {
+      if (error != nullptr) {
+        *error = "btree: depth " + std::to_string(depth) + ": " + msg;
+      }
+      return false;
+    };
+    if (node->is_leaf) {
+      const LeafNode* leaf =
+          reinterpret_cast<const LeafNode*>(node);
+      if (leaf->header.count < 1 || leaf->header.count > kLeafSlots) {
+        return fail("leaf count " + std::to_string(leaf->header.count));
+      }
+      if (*leaf_depth < 0) {
+        *leaf_depth = static_cast<int>(depth);
+      } else if (*leaf_depth != static_cast<int>(depth)) {
+        return fail("leaf depth " + std::to_string(depth) + " != " +
+                    std::to_string(*leaf_depth));
+      }
+      if (leaf->prev != *prev_leaf) return fail("leaf prev link broken");
+      if (*prev_leaf != nullptr && (*prev_leaf)->next != leaf) {
+        return fail("leaf next link broken");
+      }
+      for (unsigned i = 0; i < leaf->header.count; ++i) {
+        const CompositeKey& ck = leaf->keys[i];
+        KeyScratch scratch;
+        if (KeyWord(extractor_(ck.tid, scratch)) != ck.word) {
+          return fail("stored word does not match extractor for tid " +
+                      std::to_string(ck.tid));
+        }
+        if (i > 0 && CompareComposite(leaf->keys[i - 1], ck) >= 0) {
+          return fail("leaf keys not strictly ascending at slot " +
+                      std::to_string(i));
+        }
+      }
+      if (lo != nullptr && CompareComposite(*lo, leaf->keys[0]) > 0) {
+        return fail("leaf key below subtree lower bound");
+      }
+      if (hi != nullptr &&
+          CompareComposite(leaf->keys[leaf->header.count - 1], *hi) >= 0) {
+        return fail("leaf key at or above subtree upper bound");
+      }
+      *prev_leaf = leaf;
+      *total += leaf->header.count;
+      return true;
+    }
+    const InnerNode* inner = reinterpret_cast<const InnerNode*>(node);
+    if (inner->header.count < 1 || inner->header.count > kInnerSlots - 1) {
+      return fail("inner count " + std::to_string(inner->header.count));
+    }
+    for (unsigned i = 0; i < inner->header.count; ++i) {
+      if (i > 0 &&
+          CompareComposite(inner->keys[i - 1], inner->keys[i]) >= 0) {
+        return fail("separators not strictly ascending at slot " +
+                    std::to_string(i));
+      }
+      if (lo != nullptr && CompareComposite(*lo, inner->keys[i]) > 0) {
+        return fail("separator below subtree lower bound");
+      }
+      if (hi != nullptr && CompareComposite(inner->keys[i], *hi) >= 0) {
+        return fail("separator at or above subtree upper bound");
+      }
+    }
+    for (unsigned i = 0; i <= inner->header.count; ++i) {
+      if (inner->children[i] == nullptr) {
+        return fail("null child " + std::to_string(i));
+      }
+      const CompositeKey* clo = i == 0 ? lo : &inner->keys[i - 1];
+      const CompositeKey* chi = i == inner->header.count ? hi : &inner->keys[i];
+      if (!CheckRec(inner->children[i], depth + 1, clo, chi, leaf_depth,
+                    prev_leaf, total, error)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   // First index i with keys[i] >= key.
@@ -426,7 +558,7 @@ class BTree {
     } else {
       InnerNode* l = AsInner(left);
       InnerNode* r = AsInner(right);
-      if (l->header.count + 1 + r->header.count <= kInnerSlots - 1) {
+      if (l->header.count + 1u + r->header.count <= kInnerSlots - 1) {
         // Merge: parent separator comes down between them.
         l->keys[l->header.count] = parent->keys[left_idx];
         std::memcpy(l->keys + l->header.count + 1, r->keys,

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace hot {
 
@@ -38,6 +39,23 @@ class SplitMix64 {
  private:
   uint64_t state_;
 };
+
+// Deterministic Fisher-Yates permutation of [0, n).  The Zipfian generator
+// below concentrates mass on the *lowest* ranks; composing it with a seeded
+// permutation (hot key = perm[rank]) decouples "popular" from "numerically
+// small", which both the YCSB harness and the fuzzing key-pick distributions
+// need.
+inline std::vector<uint32_t> RandomPermutation(uint32_t n, SplitMix64& rng) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    uint32_t j = static_cast<uint32_t>(rng.NextBounded(i));
+    uint32_t tmp = perm[i - 1];
+    perm[i - 1] = perm[j];
+    perm[j] = tmp;
+  }
+  return perm;
+}
 
 // Zipfian generator over [0, n) with YCSB's default skew (theta = 0.99).
 // Implements the classic Gray et al. "Quickly generating billion-record

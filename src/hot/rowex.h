@@ -265,6 +265,14 @@ class RowexHotTrie {
                            size(), error);
   }
 
+  // Quiescent-only root snapshot for external checkers (testing/audit.h
+  // walks the tree through the same tagged-entry view as validate.h).
+  uint64_t root_entry() const {
+    return root_.load(std::memory_order_acquire);
+  }
+
+  const KeyExtractor& extractor() const { return extractor_; }
+
  private:
   static uint64_t LoadSlot(const uint64_t* slot) {
     return AcquireSlotLoad::Load(slot);

@@ -22,6 +22,8 @@
 #include <cstring>
 #include <functional>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/alloc.h"
 #include "common/extractors.h"
@@ -153,6 +155,39 @@ class LayerTree {
     });
   }
 
+  // Structural audit of this layer's B+-tree: occupancy bounds, strictly
+  // ascending slices, separator bounds (child i covers [keys[i-1], keys[i])
+  // with an inclusive lower bound), uniform leaf depth, leaf chain, and the
+  // entries counter.  Returns false and fills `error` on the first
+  // violation.
+  bool CheckStructure(std::string* error) const {
+    auto fail = [&](const std::string& msg) {
+      if (error != nullptr) *error = "layer: " + msg;
+      return false;
+    };
+    if (root_ == nullptr) {
+      if (entries_ != 0) {
+        return fail("null root but entries " + std::to_string(entries_));
+      }
+      return true;
+    }
+    int leaf_depth = -1;
+    const Node* prev_leaf = nullptr;
+    size_t total = 0;
+    if (!CheckNode(root_, 1, false, 0, false, 0, &leaf_depth, &prev_leaf,
+                   &total, error)) {
+      return false;
+    }
+    if (prev_leaf == nullptr || prev_leaf->next != nullptr) {
+      return fail("leaf chain does not end at the rightmost leaf");
+    }
+    if (total != entries_) {
+      return fail("leaf slices " + std::to_string(total) + " != entries " +
+                  std::to_string(entries_));
+    }
+    return true;
+  }
+
  private:
   struct Node {
     bool is_leaf;
@@ -203,6 +238,64 @@ class LayerTree {
       }
     }
     return lo;
+  }
+
+  // `lo`/`hi` (when flagged) bound every slice in the subtree: lo <= s < hi.
+  // Leaves are visited left-to-right, threading `prev_leaf` to validate the
+  // chain.
+  static bool CheckNode(const Node* node, unsigned depth, bool has_lo,
+                        uint64_t lo, bool has_hi, uint64_t hi, int* leaf_depth,
+                        const Node** prev_leaf, size_t* total,
+                        std::string* error) {
+    auto fail = [&](const std::string& msg) {
+      if (error != nullptr) {
+        *error = "layer: depth " + std::to_string(depth) + ": " + msg;
+      }
+      return false;
+    };
+    if (node->count < 1 || node->count > kSlots) {
+      return fail("count " + std::to_string(node->count));
+    }
+    for (unsigned i = 0; i < node->count; ++i) {
+      if (i > 0 && node->keys[i - 1] >= node->keys[i]) {
+        return fail("slices not strictly ascending at slot " +
+                    std::to_string(i));
+      }
+      if (has_lo && node->keys[i] < lo) {
+        return fail("slice below subtree lower bound");
+      }
+      if (has_hi && node->keys[i] >= hi) {
+        return fail("slice at or above subtree upper bound");
+      }
+    }
+    if (node->is_leaf) {
+      if (*leaf_depth < 0) {
+        *leaf_depth = static_cast<int>(depth);
+      } else if (*leaf_depth != static_cast<int>(depth)) {
+        return fail("leaf depth " + std::to_string(depth) + " != " +
+                    std::to_string(*leaf_depth));
+      }
+      if (*prev_leaf != nullptr && (*prev_leaf)->next != node) {
+        return fail("leaf next link broken");
+      }
+      *prev_leaf = node;
+      *total += node->count;
+      return true;
+    }
+    for (unsigned i = 0; i <= node->count; ++i) {
+      if (node->children[i] == nullptr) {
+        return fail("null child " + std::to_string(i));
+      }
+      bool clo_has = i == 0 ? has_lo : true;
+      uint64_t clo = i == 0 ? lo : node->keys[i - 1];
+      bool chi_has = i == node->count ? has_hi : true;
+      uint64_t chi = i == node->count ? hi : node->keys[i];
+      if (!CheckNode(node->children[i], depth + 1, clo_has, clo, chi_has, chi,
+                     leaf_depth, prev_leaf, total, error)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   // Returns 0 = duplicate, 1 = inserted.  *up_node != nullptr on split.
@@ -355,7 +448,7 @@ class LayerTree {
         node->keys[li] = r->keys[0];
       }
     } else {
-      if (l->count + 1 + r->count <= kSlots) {
+      if (l->count + 1u + r->count <= kSlots) {
         l->keys[l->count] = node->keys[li];
         std::memcpy(l->keys + l->count + 1, r->keys,
                     r->count * sizeof(uint64_t));
@@ -533,6 +626,24 @@ class Masstree {
   bool empty() const { return size_ == 0; }
   MemoryCounter* counter() const { return alloc_.counter(); }
 
+  // Structural audit: every layer's B+-tree shape, slice-path consistency
+  // (each stored tid's key must reproduce every slice on the layer path
+  // through the extractor), non-empty child layers, and the size counter.
+  // Quiescent-only; returns false and fills `error` on the first violation.
+  bool CheckStructure(std::string* error) const {
+    size_t tids = 0;
+    std::vector<uint64_t> path;
+    if (!CheckLayerRec(root_, 0, &path, &tids, error)) return false;
+    if (tids != size_) {
+      if (error != nullptr) {
+        *error = "masstree: " + std::to_string(tids) + " tids != size " +
+                 std::to_string(size_);
+      }
+      return false;
+    }
+    return true;
+  }
+
  private:
   static uint64_t Slice(KeyRef key, unsigned layer) {
     size_t off = static_cast<size_t>(layer) * 8;
@@ -558,6 +669,52 @@ class Masstree {
   void DeleteLayer(masstree::LayerTree* tree) {
     tree->~LayerTree();
     alloc_.FreeAligned(tree, sizeof(masstree::LayerTree), 8);
+  }
+
+  // `path` holds the slices leading to `tree`; single-tid non-root layers
+  // are legal (removal only collapses layers along its own path), but empty
+  // non-root layers are not.
+  bool CheckLayerRec(const masstree::LayerTree* tree, unsigned layer,
+                     std::vector<uint64_t>* path, size_t* tids,
+                     std::string* error) const {
+    auto fail = [&](const std::string& msg) {
+      if (error != nullptr) {
+        *error = "masstree: layer depth " + std::to_string(layer) + ": " + msg;
+      }
+      return false;
+    };
+    if (!tree->CheckStructure(error)) {
+      if (error != nullptr) {
+        *error = "masstree: layer depth " + std::to_string(layer) + ": " +
+                 *error;
+      }
+      return false;
+    }
+    if (layer > 0 && tree->entries() == 0) return fail("empty non-root layer");
+    bool ok = true;
+    tree->VisitFrom(0, [&](uint64_t slice, uint64_t v) {
+      if (masstree::Slot::IsTid(v)) {
+        uint64_t payload = masstree::Slot::TidPayload(v);
+        KeyScratch scratch;
+        KeyRef key = extractor_(payload, scratch);
+        for (unsigned d = 0; d <= layer; ++d) {
+          uint64_t want = d < layer ? (*path)[d] : slice;
+          if (Slice(key, d) != want) {
+            ok = fail("tid " + std::to_string(payload) +
+                      " key does not reproduce path slice at depth " +
+                      std::to_string(d));
+            return false;
+          }
+        }
+        ++*tids;
+        return true;
+      }
+      path->push_back(slice);
+      ok = CheckLayerRec(LayerPtr(v), layer + 1, path, tids, error);
+      path->pop_back();
+      return ok;
+    });
+    return ok;
   }
 
   void Teardown(masstree::LayerTree* tree) {

@@ -1,0 +1,203 @@
+// Deep structural auditor for HOT trees (tentpole check #3).
+//
+// Builds on hot/validate.h (per-node k-constraint, discriminative-bit
+// ordering, minimal layout, local Patricia shape, functional search routing)
+// and adds the physical-representation checks validate.h leaves implicit:
+//
+//   * pointer-tag / size-bit consistency: the tagged entry's NodeType and
+//     9-bit size field must agree with the node header and its computed
+//     layout size, and re-encoding the node must reproduce the entry
+//   * sparse-partial-key PEXT/PDEP round-trip: for every entry, depositing
+//     its stored partial key at the node's absolute discriminative bit
+//     positions into an otherwise-zero key and re-extracting — through both
+//     the PEXT kernels and the scalar twin — must return the stored value
+//   * the paper's height bound, in its per-leaf form: the compound-node
+//     depth of every leaf is at most the leaf key's bit length (root
+//     discriminative bits strictly ascend along any root-to-leaf path, so
+//     each compound level consumes at least one key bit)
+//
+// Like validate.h this is quiescent-only: no concurrent writer may run.
+
+#ifndef HOT_TESTING_AUDIT_H_
+#define HOT_TESTING_AUDIT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/key.h"
+#include "hot/node.h"
+#include "hot/node_search.h"
+#include "hot/validate.h"
+
+namespace hot {
+namespace testing {
+
+struct AuditStats {
+  size_t nodes = 0;
+  size_t leaves = 0;
+  unsigned max_compound_depth = 0;        // root node = depth 1
+  unsigned root_height = 0;               // 0 for empty / single-leaf trees
+  size_t layout_counts[kNumNodeTypes] = {};
+
+  std::string Summary() const {
+    std::ostringstream oss;
+    oss << "nodes=" << nodes << " leaves=" << leaves
+        << " max_depth=" << max_compound_depth << " root_height=" << root_height
+        << " layouts=[";
+    for (unsigned i = 0; i < kNumNodeTypes; ++i) {
+      oss << (i ? "," : "") << layout_counts[i];
+    }
+    oss << "]";
+    return oss.str();
+  }
+};
+
+namespace detail {
+
+// PDEP side of the round-trip: writes the dense partial key `pk` (low
+// `num_bits` bits, MSB of the used range = positions[0]) into a zeroed key
+// buffer at the given absolute bit positions.  Buffer must cover the largest
+// position.
+inline void DepositPartialKey(uint32_t pk, const uint16_t* positions,
+                              unsigned num_bits, uint8_t* buf) {
+  for (unsigned j = 0; j < num_bits; ++j) {
+    if (pk & (1u << (num_bits - 1 - j))) {
+      unsigned pos = positions[j];
+      buf[pos / 8] |= static_cast<uint8_t>(0x80u >> (pos % 8));
+    }
+  }
+}
+
+}  // namespace detail
+
+// Audits the physical entry/node pair: tag consistency plus the PEXT/PDEP
+// round-trip for every stored partial key.
+inline bool AuditNodePhysical(uint64_t entry, std::string* error) {
+  std::ostringstream oss;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  NodeRef node = NodeRef::FromEntry(entry);
+  if (static_cast<NodeType>(node.header()->type) != HotEntry::Type(entry)) {
+    oss << "header type " << static_cast<unsigned>(node.header()->type)
+        << " != pointer tag " << static_cast<unsigned>(HotEntry::Type(entry));
+    return fail(oss.str());
+  }
+  if (HotEntry::NodeSizeBytes(entry) != node.SizeBytes()) {
+    oss << "entry size tag " << HotEntry::NodeSizeBytes(entry)
+        << " != computed layout size " << node.SizeBytes();
+    return fail(oss.str());
+  }
+  if (node.ToEntry() != entry) {
+    return fail("re-encoding the node does not reproduce its tagged entry");
+  }
+
+  uint16_t positions[kMaxDiscBits];
+  unsigned num_bits = DecodeBitPositions(node, positions);
+  if (num_bits != node.num_bits()) {
+    oss << "mask decodes to " << num_bits << " bits, header says "
+        << node.num_bits();
+    return fail(oss.str());
+  }
+  unsigned max_pos = positions[num_bits - 1];
+  if (max_pos >= kMaxDiscBitPos) {
+    oss << "discriminative bit position " << max_pos << " out of range";
+    return fail(oss.str());
+  }
+  // A buffer covering the highest position plus the full 8-byte single-mask
+  // window that may be loaded past it.
+  uint8_t buf[kMaxKeyBytes + 8];
+  size_t buf_len = max_pos / 8 + 1;
+  KeyRef synthetic(buf, buf_len);
+  for (unsigned i = 0; i < node.count(); ++i) {
+    uint32_t pk = node.PartialKeyAt(i);
+    std::memset(buf, 0, buf_len + 8);
+    detail::DepositPartialKey(pk, positions, num_bits, buf);
+    uint32_t simd = ExtractDensePartialKey(node, synthetic);
+    uint32_t scalar = ExtractDensePartialKeyScalar(node, synthetic);
+    if (simd != pk || scalar != pk) {
+      oss << "partial key " << pk << " at entry " << i
+          << " fails PEXT/PDEP round-trip: simd " << simd << " scalar "
+          << scalar;
+      return fail(oss.str());
+    }
+  }
+  return true;
+}
+
+// Full-tree deep audit.  Runs ValidateHotNode on every node, the physical
+// audit on every node entry, checks the per-leaf height bound, verifies
+// strictly-ascending in-order leaves and the leaf count, and fills *stats.
+template <typename KeyExtractor>
+bool AuditHotTree(uint64_t root_entry, const KeyExtractor& extractor,
+                  size_t expected_size, AuditStats* stats, std::string* error) {
+  AuditStats local;
+  std::string err;
+  bool ok = true;
+  bool have_prev = false;
+  std::string prev_key;
+
+  auto walk = [&](auto&& self, uint64_t entry, unsigned depth) -> void {
+    if (!ok || HotEntry::IsEmpty(entry)) return;
+    if (HotEntry::IsTid(entry)) {
+      ++local.leaves;
+      KeyScratch scratch;
+      KeyRef key = extractor(HotEntry::TidPayload(entry), scratch);
+      // A leaf at walk depth d has d-1 compound ancestors, each consuming at
+      // least one discriminative bit of the key, all distinct and ascending.
+      if (depth > 1 && depth - 1 > key.size() * 8) {
+        std::ostringstream oss;
+        oss << "height bound violated: leaf under " << depth - 1
+            << " compound nodes but key has only " << key.size() * 8
+            << " bits";
+        err = oss.str();
+        ok = false;
+        return;
+      }
+      std::string cur(reinterpret_cast<const char*>(key.data()), key.size());
+      if (have_prev && !(prev_key < cur)) {
+        err = "in-order traversal not strictly ascending";
+        ok = false;
+        return;
+      }
+      prev_key = std::move(cur);
+      have_prev = true;
+      return;
+    }
+    NodeRef node = NodeRef::FromEntry(entry);
+    ++local.nodes;
+    ++local.layout_counts[static_cast<unsigned>(node.type())];
+    if (depth > local.max_compound_depth) local.max_compound_depth = depth;
+    if (!ValidateHotNode(node, extractor, &err) ||
+        !AuditNodePhysical(entry, &err)) {
+      ok = false;
+      return;
+    }
+    for (unsigned i = 0; i < node.count() && ok; ++i) {
+      self(self, node.values()[i], depth + 1);
+    }
+  };
+  walk(walk, root_entry, 1);
+
+  if (ok && local.leaves != expected_size) {
+    std::ostringstream oss;
+    oss << "leaf count " << local.leaves << " != expected size "
+        << expected_size;
+    err = oss.str();
+    ok = false;
+  }
+  if (ok && HotEntry::IsNode(root_entry)) {
+    local.root_height = NodeRef::FromEntry(root_entry).height();
+  }
+  if (stats != nullptr) *stats = local;
+  if (!ok && error != nullptr) *error = err;
+  return ok;
+}
+
+}  // namespace testing
+}  // namespace hot
+
+#endif  // HOT_TESTING_AUDIT_H_

@@ -1,0 +1,225 @@
+#include "testing/keyspace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/key.h"
+#include "common/rng.h"
+#include "ycsb/datasets.h"
+
+namespace hot {
+namespace testing {
+
+const char* KeySpaceKindName(KeySpaceKind kind) {
+  switch (kind) {
+    case KeySpaceKind::kUniform:
+      return "uniform";
+    case KeySpaceKind::kDense:
+      return "dense";
+    case KeySpaceKind::kAdvSingle:
+      return "adv-single";
+    case KeySpaceKind::kAdvMulti8:
+      return "adv-multi8";
+    case KeySpaceKind::kAdvMulti32:
+      return "adv-multi32";
+    case KeySpaceKind::kPrefix:
+      return "prefix";
+    case KeySpaceKind::kUrl:
+      return "url";
+    case KeySpaceKind::kEmail:
+      return "email";
+    case KeySpaceKind::kYago:
+      return "yago";
+    case KeySpaceKind::kInteger:
+      return "integer";
+  }
+  return "?";
+}
+
+bool KeySpaceKindFromName(const std::string& name, KeySpaceKind* out) {
+  for (unsigned i = 0; i < kNumKeySpaceKinds; ++i) {
+    KeySpaceKind k = static_cast<KeySpaceKind>(i);
+    if (name == KeySpaceKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Draws `n` distinct 63-bit integers.
+std::vector<uint64_t> DistinctInts(size_t n, SplitMix64& rng) {
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    uint64_t v = rng.Next() >> 1;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+// Adversarial fixed-length keys: every key is `len` bytes of 0x01 filler
+// with bits set only at the given absolute bit positions.  Each key is a
+// distinct subset of the positions, so every BiNode the indexes create
+// discriminates inside the engineered window pattern.  The filler keeps the
+// strings NUL-free (StringTableExtractor's prefix-free contract) and
+// occupies bit 7 of each byte, so no position may use bit 7 — otherwise two
+// distinct subsets could collapse to the same byte string.
+std::vector<std::string> PatternKeys(size_t n, unsigned len,
+                                     const std::vector<unsigned>& positions,
+                                     SplitMix64& rng) {
+  assert(positions.size() <= 32);
+  for (unsigned pos : positions) {
+    assert(pos % 8 != 7 && "bit 7 is the NUL-guard filler bit");
+    (void)pos;
+  }
+  uint64_t universe = positions.size() >= 64
+                          ? ~uint64_t{0}
+                          : (uint64_t{1} << positions.size());
+  if (n > universe) n = static_cast<size_t>(universe);
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    uint64_t subset = rng.Next() & (universe - 1);
+    if (!seen.insert(subset).second) continue;
+    std::string key(len, '\x01');
+    for (size_t b = 0; b < positions.size(); ++b) {
+      if (subset & (uint64_t{1} << b)) {
+        unsigned pos = positions[b];
+        key[pos / 8] = static_cast<char>(
+            static_cast<uint8_t>(key[pos / 8]) | (0x80u >> (pos % 8)));
+      }
+    }
+    out.push_back(std::move(key));
+  }
+  return out;
+}
+
+std::vector<std::string> PrefixHeavyKeys(size_t n, SplitMix64& rng) {
+  static const char* const kVocab[] = {"alpha", "beta",  "gamma", "delta",
+                                       "eps",   "zeta",  "eta",   "theta",
+                                       "iota",  "kappa", "lam",   "mu"};
+  constexpr size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    unsigned depth = 2 + static_cast<unsigned>(rng.NextBounded(8));
+    std::string key;
+    for (unsigned d = 0; d < depth; ++d) {
+      // Skewed segment choice: deep shared prefixes with occasional
+      // divergence.
+      size_t pick = static_cast<size_t>(
+          rng.NextBounded(d == depth - 1 ? kVocabSize : 3 + d));
+      key += kVocab[pick % kVocabSize];
+      key += '/';
+    }
+    key += std::to_string(rng.NextBounded(1000));
+    if (seen.insert(key).second) out.push_back(std::move(key));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<uint64_t>& KeySpace::SortedValues() const {
+  if (!sorted_values_.empty() || size() == 0) return sorted_values_;
+  sorted_values_.reserve(size());
+  if (is_string) {
+    std::vector<uint32_t> order(strings.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return strings[a] < strings[b];
+    });
+    for (uint32_t i : order) sorted_values_.push_back(i);
+  } else {
+    sorted_values_ = ints;
+    std::sort(sorted_values_.begin(), sorted_values_.end());
+  }
+  return sorted_values_;
+}
+
+KeySpace BuildKeySpace(KeySpaceKind kind, size_t n, uint64_t seed) {
+  KeySpace ks;
+  ks.kind = kind;
+  ks.seed = seed;
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + 0xf00d);
+  switch (kind) {
+    case KeySpaceKind::kUniform:
+      ks.ints = DistinctInts(n, rng);
+      break;
+    case KeySpaceKind::kDense: {
+      uint64_t base = rng.Next() >> 2;
+      ks.ints.reserve(n);
+      for (size_t i = 0; i < n; ++i) ks.ints.push_back(base + i);
+      break;
+    }
+    case KeySpaceKind::kAdvSingle: {
+      // 20 positions inside bytes 0..7: window span <= 7 bytes keeps the
+      // single-mask layouts; >16 live bits forces 32-bit partial keys.
+      std::vector<unsigned> pos;
+      for (unsigned b = 0; b < 8; ++b) {
+        pos.push_back(b * 8 + 1);
+        pos.push_back(b * 8 + 4);
+        if (b % 3 == 0) pos.push_back(b * 8 + 6);
+      }
+      ks.is_string = true;
+      ks.strings = PatternKeys(n, 8, pos, rng);
+      break;
+    }
+    case KeySpaceKind::kAdvMulti8: {
+      // 16 positions in 8 distinct bytes spread over a 32-byte key; byte
+      // distance > 7 rules out the single-mask window.
+      static const unsigned kBytes[] = {0, 5, 11, 14, 19, 22, 27, 30};
+      std::vector<unsigned> pos;
+      for (unsigned b : kBytes) {
+        pos.push_back(b * 8 + 2);
+        pos.push_back(b * 8 + 5);
+      }
+      ks.is_string = true;
+      ks.strings = PatternKeys(n, 32, pos, rng);
+      break;
+    }
+    case KeySpaceKind::kAdvMulti32: {
+      // 24 distinct bytes over a 48-byte key, one position each: nodes that
+      // accumulate >16 of them need 16/32 mask slots and 32-bit lanes.
+      std::vector<unsigned> pos;
+      for (unsigned b = 0; b < 48; b += 2) pos.push_back(b * 8 + 3);
+      ks.is_string = true;
+      ks.strings = PatternKeys(n, 48, pos, rng);
+      break;
+    }
+    case KeySpaceKind::kPrefix:
+      ks.is_string = true;
+      ks.strings = PrefixHeavyKeys(n, rng);
+      break;
+    case KeySpaceKind::kUrl:
+    case KeySpaceKind::kEmail: {
+      ycsb::DataSetKind dk = kind == KeySpaceKind::kUrl
+                                 ? ycsb::DataSetKind::kUrl
+                                 : ycsb::DataSetKind::kEmail;
+      ycsb::DataSet ds = ycsb::GenerateDataSet(dk, n, seed);
+      ks.is_string = true;
+      ks.strings = std::move(ds.strings);
+      break;
+    }
+    case KeySpaceKind::kYago:
+    case KeySpaceKind::kInteger: {
+      ycsb::DataSetKind dk = kind == KeySpaceKind::kYago
+                                 ? ycsb::DataSetKind::kYago
+                                 : ycsb::DataSetKind::kInteger;
+      ycsb::DataSet ds = ycsb::GenerateDataSet(dk, n, seed);
+      ks.ints = std::move(ds.ints);
+      break;
+    }
+  }
+  return ks;
+}
+
+}  // namespace testing
+}  // namespace hot

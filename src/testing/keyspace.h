@@ -1,0 +1,83 @@
+// Key universes for the differential fuzzing subsystem (src/testing/).
+//
+// A KeySpace is the deterministic set of keys a fuzz trace operates over:
+// traces reference keys by index, so a (kind, n, seed) triple plus the op
+// list fully reproduces a run.  The generators cover the structural corners
+// of the HOT node layouts:
+//
+//   uniform     distinct uniform 63-bit integers (8-byte big-endian keys)
+//   dense       a contiguous integer run [base, base+n) — worst case for
+//               incremental insertion (monotone, shared high bytes)
+//   adv-single  fixed 8-byte keys whose discriminative bits all fall in one
+//               8-byte window: forces the single-mask layouts, and >16
+//               varying bits push the partial keys to 32-bit lanes
+//   adv-multi8  fixed 32-byte keys varying in exactly 8 distinct, widely
+//               separated bytes: forces the multi-mask-8 layouts
+//   adv-multi32 fixed 48-byte keys varying in 24 distinct bytes: forces the
+//               multi-mask-16/32 layouts and 32-bit partial keys
+//   prefix      hierarchical path strings with deep shared prefixes
+//   url/email/yago/integer
+//               the four paper data-set shapes (src/ycsb/datasets.h)
+//
+// String spaces index their table through StringTableExtractor (value =
+// table index); integer spaces embed the key in the value (U64KeyExtractor).
+
+#ifndef HOT_TESTING_KEYSPACE_H_
+#define HOT_TESTING_KEYSPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hot {
+namespace testing {
+
+enum class KeySpaceKind : uint8_t {
+  kUniform,
+  kDense,
+  kAdvSingle,
+  kAdvMulti8,
+  kAdvMulti32,
+  kPrefix,
+  kUrl,
+  kEmail,
+  kYago,
+  kInteger,
+};
+
+inline constexpr unsigned kNumKeySpaceKinds = 10;
+
+const char* KeySpaceKindName(KeySpaceKind kind);
+// Returns false if `name` is not a known kind name.
+bool KeySpaceKindFromName(const std::string& name, KeySpaceKind* out);
+
+struct KeySpace {
+  KeySpaceKind kind = KeySpaceKind::kUniform;
+  uint64_t seed = 0;
+  bool is_string = false;
+  std::vector<std::string> strings;  // string spaces; value = index
+  std::vector<uint64_t> ints;        // integer spaces; value = the key
+
+  size_t size() const { return is_string ? strings.size() : ints.size(); }
+
+  // Index value stored under key `idx` (63-bit payload).
+  uint64_t ValueOf(size_t idx) const {
+    return is_string ? static_cast<uint64_t>(idx) : ints[idx];
+  }
+
+  // All values ordered by ascending key bytes (for bulk loads).  Computed
+  // on first use.
+  const std::vector<uint64_t>& SortedValues() const;
+
+ private:
+  mutable std::vector<uint64_t> sorted_values_;
+};
+
+// Deterministically builds `n` distinct keys.  The result depends only on
+// (kind, n, seed).  `n` is clamped to the kind's maximum distinct-key count.
+KeySpace BuildKeySpace(KeySpaceKind kind, size_t n, uint64_t seed);
+
+}  // namespace testing
+}  // namespace hot
+
+#endif  // HOT_TESTING_KEYSPACE_H_

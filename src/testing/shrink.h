@@ -1,0 +1,99 @@
+// Greedy minimization of failing traces (tentpole check #4).
+//
+// Classic ddmin-flavoured reduction, specialized to the trace model: remove
+// op chunks (halving the chunk size down to single ops), then shrink the
+// keyspace and the per-op magnitudes.  The executor reduces op indices
+// modulo the keyspace size, so shrinking ks_n never invalidates a trace.
+// The predicate must be deterministic — with the differ it is.
+
+#ifndef HOT_TESTING_SHRINK_H_
+#define HOT_TESTING_SHRINK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "testing/trace.h"
+
+namespace hot {
+namespace testing {
+
+struct ShrinkStats {
+  size_t predicate_calls = 0;
+  size_t ops_before = 0;
+  size_t ops_after = 0;
+};
+
+// Returns the smallest trace found for which `still_fails` holds.  The input
+// trace must itself fail.
+inline Trace ShrinkTrace(const Trace& failing,
+                         const std::function<bool(const Trace&)>& still_fails,
+                         ShrinkStats* stats = nullptr) {
+  Trace best = failing;
+  ShrinkStats local;
+  local.ops_before = failing.ops.size();
+  auto fails = [&](const Trace& t) {
+    ++local.predicate_calls;
+    return still_fails(t);
+  };
+
+  // Phase 1: chunked op removal.  Audits and bulk loads shrink away like any
+  // other op; the failure the predicate checks for keeps what matters.
+  for (size_t chunk = std::max<size_t>(best.ops.size() / 2, 1); chunk >= 1;
+       chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (size_t start = 0; start < best.ops.size();) {
+        Trace candidate = best;
+        size_t end = std::min(start + chunk, candidate.ops.size());
+        candidate.ops.erase(candidate.ops.begin() + start,
+                            candidate.ops.begin() + end);
+        if (!candidate.ops.empty() && fails(candidate)) {
+          best = std::move(candidate);
+          removed_any = true;
+          // retry the same offset: the next chunk slid into place
+        } else {
+          start += chunk;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  // Phase 2: shrink the keyspace (indices fold modulo n at execution).
+  while (best.ks_n > 2) {
+    Trace candidate = best;
+    candidate.ks_n = best.ks_n / 2;
+    if (fails(candidate)) {
+      best = std::move(candidate);
+    } else {
+      break;
+    }
+  }
+
+  // Phase 3: shrink magnitudes — scan limits and bulk-load counts.
+  for (Op& op : best.ops) {
+    if (op.kind != OpKind::kScan && op.kind != OpKind::kBulkLoad) continue;
+    while (op.arg > 1) {
+      Trace candidate = best;  // best already holds the halved prefix ops
+      uint32_t halved = op.arg / 2;
+      // Locate this op in the copy by position.
+      candidate.ops[static_cast<size_t>(&op - best.ops.data())].arg = halved;
+      if (fails(candidate)) {
+        op.arg = halved;
+      } else {
+        break;
+      }
+    }
+  }
+
+  local.ops_after = best.ops.size();
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+}  // namespace testing
+}  // namespace hot
+
+#endif  // HOT_TESTING_SHRINK_H_

@@ -1,0 +1,243 @@
+#include "testing/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace hot {
+namespace testing {
+
+namespace {
+
+char OpChar(OpKind k) {
+  switch (k) {
+    case OpKind::kInsert:
+      return 'i';
+    case OpKind::kUpsert:
+      return 'u';
+    case OpKind::kRemove:
+      return 'r';
+    case OpKind::kLookup:
+      return 'l';
+    case OpKind::kLowerBound:
+      return 'b';
+    case OpKind::kScan:
+      return 's';
+    case OpKind::kBulkLoad:
+      return 'B';
+    case OpKind::kAudit:
+      return 'a';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string Trace::Serialize() const {
+  std::string out;
+  out.reserve(32 + ops.size() * 12);
+  char line[96];
+  std::snprintf(line, sizeof(line), "hot-fuzz-trace v1\nkeyspace %s %" PRIu32
+                                    " %" PRIu64 "\nops %zu\n",
+                KeySpaceKindName(ks_kind), ks_n, ks_seed, ops.size());
+  out += line;
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::kAudit:
+        out += "a\n";
+        break;
+      case OpKind::kScan:
+        std::snprintf(line, sizeof(line), "s %" PRIu32 " %" PRIu32 "\n",
+                      op.idx, op.arg);
+        out += line;
+        break;
+      case OpKind::kBulkLoad:
+        std::snprintf(line, sizeof(line), "B %" PRIu32 "\n", op.arg);
+        out += line;
+        break;
+      default:
+        std::snprintf(line, sizeof(line), "%c %" PRIu32 "\n", OpChar(op.kind),
+                      op.idx);
+        out += line;
+        break;
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+bool Trace::Parse(const std::string& text, Trace* out, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "hot-fuzz-trace v1") {
+    return fail("bad header (expected 'hot-fuzz-trace v1')");
+  }
+  if (!std::getline(in, line)) return fail("missing keyspace line");
+  {
+    std::istringstream ls(line);
+    std::string tag, kind_name;
+    uint64_t n = 0;
+    if (!(ls >> tag >> kind_name >> n >> out->ks_seed) || tag != "keyspace") {
+      return fail("bad keyspace line: " + line);
+    }
+    if (!KeySpaceKindFromName(kind_name, &out->ks_kind)) {
+      return fail("unknown keyspace kind: " + kind_name);
+    }
+    out->ks_n = static_cast<uint32_t>(n);
+  }
+  size_t declared_ops = 0;
+  if (!std::getline(in, line)) return fail("missing ops line");
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> declared_ops) || tag != "ops") {
+      return fail("bad ops line: " + line);
+    }
+  }
+  out->ops.clear();
+  out->ops.reserve(declared_ops);
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string code;
+    ls >> code;
+    if (code.size() != 1) return fail("bad op line: " + line);
+    Op op{};
+    switch (code[0]) {
+      case 'i':
+        op.kind = OpKind::kInsert;
+        break;
+      case 'u':
+        op.kind = OpKind::kUpsert;
+        break;
+      case 'r':
+        op.kind = OpKind::kRemove;
+        break;
+      case 'l':
+        op.kind = OpKind::kLookup;
+        break;
+      case 'b':
+        op.kind = OpKind::kLowerBound;
+        break;
+      case 's':
+        op.kind = OpKind::kScan;
+        break;
+      case 'B':
+        op.kind = OpKind::kBulkLoad;
+        break;
+      case 'a':
+        op.kind = OpKind::kAudit;
+        break;
+      default:
+        return fail("unknown op code: " + line);
+    }
+    if (op.kind == OpKind::kScan) {
+      if (!(ls >> op.idx >> op.arg)) return fail("bad scan op: " + line);
+    } else if (op.kind == OpKind::kBulkLoad) {
+      if (!(ls >> op.arg)) return fail("bad bulk-load op: " + line);
+    } else if (op.kind != OpKind::kAudit) {
+      if (!(ls >> op.idx)) return fail("bad op operand: " + line);
+    }
+    out->ops.push_back(op);
+  }
+  if (!saw_end) return fail("missing 'end' terminator");
+  if (out->ops.size() != declared_ops) {
+    return fail("op count mismatch: declared " + std::to_string(declared_ops) +
+                ", got " + std::to_string(out->ops.size()));
+  }
+  return true;
+}
+
+bool Trace::SaveFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << Serialize();
+  return static_cast<bool>(f);
+}
+
+bool Trace::LoadFile(const std::string& path, Trace* out, std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Parse(buf.str(), out, error);
+}
+
+Trace GenerateTrace(const TraceGenConfig& cfg) {
+  Trace t;
+  t.ks_kind = cfg.kind;
+  t.ks_n = cfg.n;
+  t.ks_seed = cfg.seed;
+  if (cfg.n == 0 || cfg.num_ops == 0) return t;
+
+  SplitMix64 rng(cfg.seed ^ 0x5ee5ee5ee5ee5eeULL);
+  ZipfianGenerator zipf(cfg.n, 0.99, cfg.seed ^ 0x21f);
+  // Zipf ranks favour low indices; route them through a seeded permutation
+  // so the hot set is spread over the keyspace.
+  std::vector<uint32_t> perm;
+  if (cfg.zipf_pick) perm = RandomPermutation(cfg.n, rng);
+  auto pick = [&]() -> uint32_t {
+    if (cfg.zipf_pick) return perm[static_cast<uint32_t>(zipf.Next())];
+    return static_cast<uint32_t>(rng.NextBounded(cfg.n));
+  };
+
+  const unsigned weights[6] = {cfg.w_insert,     cfg.w_upsert, cfg.w_remove,
+                               cfg.w_lookup,     cfg.w_lower_bound,
+                               cfg.w_scan};
+  unsigned total_w = 0;
+  for (unsigned w : weights) total_w += w;
+  if (total_w == 0) total_w = 1;
+
+  t.ops.reserve(cfg.num_ops + cfg.num_ops / (cfg.audit_every ? cfg.audit_every
+                                                             : cfg.num_ops) +
+                2);
+  if (cfg.allow_bulk_load && rng.NextBounded(2) == 0) {
+    // Start from a bulk-loaded tree of the m smallest keys.
+    uint32_t m = static_cast<uint32_t>(rng.NextBounded(cfg.n)) + 1;
+    t.ops.push_back(Op{OpKind::kBulkLoad, 0, m});
+  }
+  for (size_t i = 0; i < cfg.num_ops; ++i) {
+    unsigned roll = static_cast<unsigned>(rng.NextBounded(total_w));
+    Op op{};
+    if (roll < weights[0]) {
+      op.kind = OpKind::kInsert;
+    } else if (roll < weights[0] + weights[1]) {
+      op.kind = OpKind::kUpsert;
+    } else if (roll < weights[0] + weights[1] + weights[2]) {
+      op.kind = OpKind::kRemove;
+    } else if (roll < weights[0] + weights[1] + weights[2] + weights[3]) {
+      op.kind = OpKind::kLookup;
+    } else if (roll <
+               weights[0] + weights[1] + weights[2] + weights[3] + weights[4]) {
+      op.kind = OpKind::kLowerBound;
+    } else {
+      op.kind = OpKind::kScan;
+      op.arg = 1 + static_cast<uint32_t>(rng.NextBounded(64));
+    }
+    op.idx = pick();
+    t.ops.push_back(op);
+    if (cfg.audit_every != 0 && (i + 1) % cfg.audit_every == 0) {
+      t.ops.push_back(Op{OpKind::kAudit, 0, 0});
+    }
+  }
+  t.ops.push_back(Op{OpKind::kAudit, 0, 0});
+  return t;
+}
+
+}  // namespace testing
+}  // namespace hot

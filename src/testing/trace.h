@@ -1,0 +1,97 @@
+// Deterministic operation traces for differential fuzzing (src/testing/).
+//
+// A Trace is a keyspace reference (kind, n, seed — see keyspace.h) plus a
+// flat list of operations over key *indices*.  Everything is reproducible
+// from the serialized form: the keyspace is rebuilt from its triple and the
+// ops replay byte-for-byte, which is what makes record → shrink → replay →
+// commit-as-regression-test work.
+//
+// The text format is line-based and canonical (one serialization per
+// trace), so save(load(f)) == f byte-identically:
+//
+//   hot-fuzz-trace v1
+//   keyspace <kind> <n> <seed>
+//   ops <count>
+//   B <m>          bulk-load the m smallest keys (only valid first)
+//   i <idx>        insert
+//   u <idx>        upsert
+//   r <idx>        remove
+//   l <idx>        lookup
+//   b <idx>        lower_bound
+//   s <idx> <lim>  ordered scan of up to lim entries from key idx
+//   a              audit (structural + full-scan differential checkpoint)
+//   end
+
+#ifndef HOT_TESTING_TRACE_H_
+#define HOT_TESTING_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/keyspace.h"
+
+namespace hot {
+namespace testing {
+
+enum class OpKind : uint8_t {
+  kInsert,
+  kUpsert,
+  kRemove,
+  kLookup,
+  kLowerBound,
+  kScan,
+  kBulkLoad,
+  kAudit,
+};
+
+struct Op {
+  OpKind kind;
+  uint32_t idx = 0;  // key index in [0, keyspace n)
+  uint32_t arg = 0;  // scan limit / bulk-load count
+
+  bool operator==(const Op&) const = default;
+};
+
+struct Trace {
+  KeySpaceKind ks_kind = KeySpaceKind::kUniform;
+  uint32_t ks_n = 0;
+  uint64_t ks_seed = 0;
+  std::vector<Op> ops;
+
+  KeySpace BuildKeys() const {
+    return BuildKeySpace(ks_kind, ks_n, ks_seed);
+  }
+
+  std::string Serialize() const;
+  // Parses the canonical text form; returns false and fills *error on any
+  // malformed input.
+  static bool Parse(const std::string& text, Trace* out, std::string* error);
+
+  bool SaveFile(const std::string& path) const;
+  static bool LoadFile(const std::string& path, Trace* out,
+                       std::string* error);
+};
+
+// Generation --------------------------------------------------------------
+
+struct TraceGenConfig {
+  KeySpaceKind kind = KeySpaceKind::kUniform;
+  uint32_t n = 1024;           // keyspace size
+  uint64_t seed = 1;           // seeds keyspace AND op stream
+  size_t num_ops = 10000;
+  bool zipf_pick = false;      // Zipf-skewed key picking (theta 0.99)
+  bool allow_bulk_load = true; // may start with a bulk load
+  size_t audit_every = 0;      // emit an audit op every N ops (0 = none)
+  // Op mix weights (normalized internally).
+  unsigned w_insert = 30, w_upsert = 8, w_remove = 16, w_lookup = 26,
+           w_lower_bound = 10, w_scan = 10;
+};
+
+// Deterministic in the config: equal configs yield byte-identical traces.
+Trace GenerateTrace(const TraceGenConfig& cfg);
+
+}  // namespace testing
+}  // namespace hot
+
+#endif  // HOT_TESTING_TRACE_H_

@@ -1,0 +1,151 @@
+// Deletion-path property tests for HOT (ISSUE satellite): drive both trie
+// variants through fill / half-delete / drain / re-fill / churn phases and
+// run the deep structural audit (testing/audit.h: k-constraint,
+// discriminative-bit ordering, sparse-partial-key round-trips, pointer-tag
+// consistency, height bound) after every phase, with the membership and
+// ordered-scan state diffed against an exact oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/key.h"
+#include "common/rng.h"
+#include "hot/rowex.h"
+#include "hot/trie.h"
+#include "testing/audit.h"
+#include "testing/keyspace.h"
+
+namespace hot {
+namespace testing {
+namespace {
+
+// Audits structure + exact contents (membership and full ordered scan)
+// against the oracle of currently-present keyspace indices.
+template <typename Index, typename Extractor>
+void AuditPhase(Index& index, const Extractor& extractor, const KeySpace& ks,
+                const std::set<uint32_t>& present, const char* phase) {
+  ASSERT_EQ(index.size(), present.size()) << phase;
+  AuditStats stats;
+  std::string err;
+  ASSERT_TRUE(AuditHotTree(index.root_entry(), index.extractor(),
+                           index.size(), &stats, &err))
+      << phase << ": " << err;
+
+  // Exact membership, both directions.
+  for (uint32_t i = 0; i < ks.size(); ++i) {
+    KeyScratch scratch;
+    KeyRef key = extractor(ks.ValueOf(i), scratch);
+    bool want = present.count(i) > 0;
+    ASSERT_EQ(index.Lookup(key).has_value(), want)
+        << phase << ": key " << i;
+  }
+
+  // Full ordered scan equals the present keys in key order.
+  std::set<uint64_t> present_values;
+  for (uint32_t i : present) present_values.insert(ks.ValueOf(i));
+  std::vector<uint64_t> want;
+  want.reserve(present.size());
+  for (uint64_t v : ks.SortedValues()) {
+    if (present_values.count(v) > 0) want.push_back(v);
+  }
+  std::vector<uint64_t> got;
+  got.reserve(present.size());
+  index.ScanFrom(KeyRef(), present.size() + 1,
+                 [&](uint64_t v) { got.push_back(v); });
+  ASSERT_EQ(got, want) << phase;
+}
+
+template <typename Index, typename Extractor>
+void RunDeletionCycle(const KeySpace& ks, const Extractor& extractor,
+                      uint64_t seed) {
+  Index index{extractor};
+  std::set<uint32_t> present;
+  const uint32_t n = static_cast<uint32_t>(ks.size());
+
+  auto insert = [&](uint32_t i) {
+    bool want = present.insert(i).second;
+    ASSERT_EQ(index.Insert(ks.ValueOf(i)), want) << "insert key " << i;
+  };
+  auto remove = [&](uint32_t i) {
+    KeyScratch scratch;
+    KeyRef key = extractor(ks.ValueOf(i), scratch);
+    bool want = present.erase(i) > 0;
+    ASSERT_EQ(index.Remove(key), want) << "remove key " << i;
+  };
+
+  // Phase 1: fill.
+  for (uint32_t i = 0; i < n; ++i) insert(i);
+  AuditPhase(index, extractor, ks, present, "fill");
+
+  // Phase 2: delete a random half.
+  SplitMix64 rng(seed);
+  std::vector<uint32_t> order = RandomPermutation(n, rng);
+  for (uint32_t i = 0; i < n / 2; ++i) remove(order[i]);
+  AuditPhase(index, extractor, ks, present, "half-delete");
+
+  // Phase 3: drain to empty (some removes repeat and must return false).
+  for (uint32_t i = 0; i < n; ++i) remove(order[i]);
+  ASSERT_TRUE(index.empty());
+  AuditPhase(index, extractor, ks, present, "drained");
+
+  // Phase 4: re-fill in a different order.
+  std::vector<uint32_t> order2 = RandomPermutation(n, rng);
+  for (uint32_t i = 0; i < n; ++i) insert(order2[i]);
+  AuditPhase(index, extractor, ks, present, "re-fill");
+
+  // Phase 5: churn — interleaved insert/delete bursts, audited per phase.
+  for (unsigned phase = 0; phase < 6; ++phase) {
+    for (unsigned op = 0; op < 500; ++op) {
+      uint32_t i = static_cast<uint32_t>(rng.NextBounded(n));
+      if (rng.NextBounded(2) == 0) {
+        insert(i);
+      } else {
+        remove(i);
+      }
+    }
+    AuditPhase(index, extractor, ks, present,
+               ("churn-" + std::to_string(phase)).c_str());
+  }
+}
+
+TEST(HotDeletionProperty, UniformIntegers) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kUniform, 1000, 51);
+  RunDeletionCycle<HotTrie<U64KeyExtractor>>(ks, U64KeyExtractor(), 101);
+}
+
+TEST(HotDeletionProperty, DenseIntegers) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kDense, 1000, 52);
+  RunDeletionCycle<HotTrie<U64KeyExtractor>>(ks, U64KeyExtractor(), 102);
+}
+
+TEST(HotDeletionProperty, AdversarialSpanKeys) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kAdvSingle, 800, 53);
+  RunDeletionCycle<HotTrie<StringTableExtractor>>(
+      ks, StringTableExtractor(&ks.strings), 103);
+}
+
+TEST(HotDeletionProperty, PrefixHeavyStrings) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kPrefix, 800, 54);
+  RunDeletionCycle<HotTrie<StringTableExtractor>>(
+      ks, StringTableExtractor(&ks.strings), 104);
+}
+
+TEST(HotDeletionProperty, RowexUniformIntegers) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kUniform, 1000, 55);
+  RunDeletionCycle<RowexHotTrie<U64KeyExtractor>>(ks, U64KeyExtractor(), 105);
+}
+
+TEST(HotDeletionProperty, RowexAdversarialMultiMask) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kAdvMulti8, 800, 56);
+  RunDeletionCycle<RowexHotTrie<StringTableExtractor>>(
+      ks, StringTableExtractor(&ks.strings), 106);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace hot

@@ -1,0 +1,160 @@
+// Cross-index equivalence (ISSUE satellite): the competitor indexes — ART,
+// Masstree, B+-tree — must agree with HOT and with the Patricia oracle on
+// lower_bound answers and full ordered-scan output, over both integer and
+// string key spaces.  Two angles:
+//
+//   * a direct pairwise check: the same key set loaded into all indexes,
+//     then probed with member keys, absent keys, and prefix probes, through
+//     the same adapter layer the differential executor uses
+//   * trace replays with a lower_bound/scan-heavy op mix, so the agreement
+//     also holds under interleaved inserts and deletes
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "art/art.h"
+#include "btree/btree.h"
+#include "common/extractors.h"
+#include "common/key.h"
+#include "common/rng.h"
+#include "hot/trie.h"
+#include "masstree/masstree.h"
+#include "patricia/patricia.h"
+#include "testing/adapters.h"
+#include "testing/differ.h"
+#include "testing/keyspace.h"
+#include "testing/trace.h"
+
+namespace hot {
+namespace testing {
+namespace {
+
+// Loads every other key of `ks` into each index, then compares lower_bound
+// and bounded scans for a probe set that includes members, the skipped
+// keys, and synthetic out-of-range probes.
+template <typename Extractor>
+void PairwiseCheck(const KeySpace& ks, const Extractor& extractor) {
+  HotTrie<Extractor> hot{extractor};
+  ArtTree<Extractor> art{extractor};
+  Masstree<Extractor> mass{extractor};
+  BTree<Extractor> btree{extractor};
+  PatriciaTrie<Extractor> oracle{extractor};
+  for (uint32_t i = 0; i < ks.size(); i += 2) {
+    uint64_t v = ks.ValueOf(i);
+    ASSERT_TRUE(hot.Insert(v));
+    ASSERT_TRUE(art.Insert(v));
+    ASSERT_TRUE(mass.Insert(v));
+    ASSERT_TRUE(btree.Insert(v));
+    ASSERT_TRUE(oracle.Insert(v));
+  }
+
+  auto check_probe = [&](KeyRef probe, const std::string& what) {
+    std::optional<uint64_t> want;
+    oracle.ScanFrom(probe, [&](uint64_t v) {
+      want = v;
+      return false;
+    });
+    EXPECT_EQ(IndexLowerBound(hot, probe), want) << "hot: " << what;
+    EXPECT_EQ(IndexLowerBound(art, probe), want) << "art: " << what;
+    EXPECT_EQ(IndexLowerBound(mass, probe), want) << "masstree: " << what;
+    EXPECT_EQ(IndexLowerBound(btree, probe), want) << "btree: " << what;
+
+    std::vector<uint64_t> oracle_scan;
+    oracle.ScanFrom(probe, [&](uint64_t v) {
+      oracle_scan.push_back(v);
+      return oracle_scan.size() < 10;
+    });
+    auto scan_of = [&](auto& index) {
+      std::vector<uint64_t> out;
+      index.ScanFrom(probe, 10, [&](uint64_t v) { out.push_back(v); });
+      return out;
+    };
+    EXPECT_EQ(scan_of(hot), oracle_scan) << "hot: " << what;
+    EXPECT_EQ(scan_of(art), oracle_scan) << "art: " << what;
+    EXPECT_EQ(scan_of(mass), oracle_scan) << "masstree: " << what;
+    EXPECT_EQ(scan_of(btree), oracle_scan) << "btree: " << what;
+  };
+
+  for (uint32_t i = 0; i < ks.size(); ++i) {
+    KeyScratch scratch;
+    KeyRef probe = extractor(ks.ValueOf(i), scratch);
+    check_probe(probe, "key " + std::to_string(i));
+  }
+  // Before-everything and after-everything probes.
+  check_probe(KeyRef(), "empty probe");
+
+  // Full ordered output, all four indexes against the oracle.
+  std::vector<uint64_t> want;
+  oracle.ScanFrom(KeyRef(), [&](uint64_t v) {
+    want.push_back(v);
+    return true;
+  });
+  auto full_scan = [&](auto& index) {
+    std::vector<uint64_t> out;
+    index.ScanFrom(KeyRef(), want.size() + 1,
+                   [&](uint64_t v) { out.push_back(v); });
+    return out;
+  };
+  EXPECT_EQ(full_scan(hot), want);
+  EXPECT_EQ(full_scan(art), want);
+  EXPECT_EQ(full_scan(mass), want);
+  EXPECT_EQ(full_scan(btree), want);
+}
+
+TEST(IndexEquivalence, PairwiseIntegerKeys) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kUniform, 1500, 17);
+  PairwiseCheck(ks, U64KeyExtractor());
+}
+
+TEST(IndexEquivalence, PairwiseDenseIntegerKeys) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kDense, 1500, 18);
+  PairwiseCheck(ks, U64KeyExtractor());
+}
+
+TEST(IndexEquivalence, PairwiseUrlKeys) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kUrl, 1200, 19);
+  PairwiseCheck(ks, StringTableExtractor(&ks.strings));
+}
+
+TEST(IndexEquivalence, PairwisePrefixHeavyKeys) {
+  KeySpace ks = BuildKeySpace(KeySpaceKind::kPrefix, 1200, 20);
+  PairwiseCheck(ks, StringTableExtractor(&ks.strings));
+}
+
+// Trace replays with the mix tilted toward ordered operations, so the
+// equivalence also holds mid-churn (inserts and deletes interleaved with
+// the probes).
+TEST(IndexEquivalence, OrderedOpsUnderChurn) {
+  static const KeySpaceKind kKinds[] = {
+      KeySpaceKind::kUniform, KeySpaceKind::kPrefix, KeySpaceKind::kEmail,
+      KeySpaceKind::kInteger};
+  static const char* const kIndexes[] = {"art", "masstree", "btree"};
+  for (KeySpaceKind kind : kKinds) {
+    TraceGenConfig cfg;
+    cfg.kind = kind;
+    cfg.n = 1024;
+    cfg.seed = 4242 + static_cast<uint64_t>(kind);
+    cfg.num_ops = 12000;
+    cfg.audit_every = 2000;
+    cfg.w_insert = 20;
+    cfg.w_upsert = 5;
+    cfg.w_remove = 15;
+    cfg.w_lookup = 10;
+    cfg.w_lower_bound = 25;
+    cfg.w_scan = 25;
+    Trace t = GenerateTrace(cfg);
+    for (const char* index : kIndexes) {
+      DiffResult res = RunTraceOnIndex(index, t);
+      EXPECT_TRUE(res.ok) << index << " on " << KeySpaceKindName(kind) << ": "
+                          << res.Describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace hot

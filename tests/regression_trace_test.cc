@@ -1,0 +1,57 @@
+// Replays every committed trace under tests/regressions/ against all five
+// indexes (ISSUE satellite).  Traces land here minimized by
+// `fuzz_replay --shrink` after a campaign failure; each must stay green
+// forever once its bug is fixed.  The directory is compiled in as
+// HOT_REGRESSION_TRACE_DIR.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "testing/differ.h"
+#include "testing/trace.h"
+
+namespace hot {
+namespace testing {
+namespace {
+
+std::vector<std::string> TraceFiles() {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           HOT_REGRESSION_TRACE_DIR, ec)) {
+    if (entry.path().extension() == ".trace") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RegressionTraces, AllCommittedTracesPassOnEveryIndex) {
+  std::vector<std::string> files = TraceFiles();
+  if (files.empty()) {
+    GTEST_SKIP() << "no regression traces committed (see "
+                 << HOT_REGRESSION_TRACE_DIR << "/README.md)";
+  }
+  for (const std::string& path : files) {
+    Trace t;
+    std::string err;
+    ASSERT_TRUE(Trace::LoadFile(path, &t, &err)) << path << ": " << err;
+    // Traces must round-trip byte-identically, or the committed artifact
+    // is not what fuzz_replay will reproduce.
+    EXPECT_EQ(Trace::Parse(t.Serialize(), &t, &err), true) << path;
+    for (unsigned i = 0; i < kNumIndexes; ++i) {
+      DiffResult res = RunTraceOnIndex(kIndexNames[i], t);
+      EXPECT_TRUE(res.ok) << path << " on " << kIndexNames[i] << ": "
+                          << res.Describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace hot

@@ -1,0 +1,137 @@
+// Trace serialization, parsing, generation determinism, and shrinking
+// (testing/trace.h, testing/shrink.h).  The byte-identity guarantees here
+// are what make fuzz_replay reproduce a recorded trace exactly.
+
+#include "testing/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "testing/keyspace.h"
+#include "testing/shrink.h"
+
+namespace hot {
+namespace testing {
+namespace {
+
+TraceGenConfig SmallConfig(KeySpaceKind kind, uint64_t seed) {
+  TraceGenConfig cfg;
+  cfg.kind = kind;
+  cfg.n = 128;
+  cfg.seed = seed;
+  cfg.num_ops = 300;
+  cfg.audit_every = 50;
+  return cfg;
+}
+
+TEST(TraceIo, RoundTripIsByteIdenticalForEveryKeySpaceKind) {
+  for (unsigned k = 0; k < kNumKeySpaceKinds; ++k) {
+    KeySpaceKind kind = static_cast<KeySpaceKind>(k);
+    Trace t = GenerateTrace(SmallConfig(kind, 7 + k));
+    std::string text = t.Serialize();
+    Trace back;
+    std::string err;
+    ASSERT_TRUE(Trace::Parse(text, &back, &err))
+        << KeySpaceKindName(kind) << ": " << err;
+    EXPECT_EQ(back.Serialize(), text) << KeySpaceKindName(kind);
+    EXPECT_EQ(back.ops, t.ops) << KeySpaceKindName(kind);
+    EXPECT_EQ(back.ks_kind, t.ks_kind);
+    EXPECT_EQ(back.ks_n, t.ks_n);
+    EXPECT_EQ(back.ks_seed, t.ks_seed);
+  }
+}
+
+TEST(TraceIo, GenerationIsDeterministic) {
+  TraceGenConfig cfg = SmallConfig(KeySpaceKind::kUniform, 99);
+  cfg.zipf_pick = true;
+  EXPECT_EQ(GenerateTrace(cfg).Serialize(), GenerateTrace(cfg).Serialize());
+  cfg.seed = 100;
+  EXPECT_NE(GenerateTrace(cfg).Serialize(),
+            GenerateTrace(SmallConfig(KeySpaceKind::kUniform, 99)).Serialize());
+}
+
+TEST(TraceIo, KeySpaceBuildIsDeterministic) {
+  for (unsigned k = 0; k < kNumKeySpaceKinds; ++k) {
+    KeySpaceKind kind = static_cast<KeySpaceKind>(k);
+    KeySpace a = BuildKeySpace(kind, 200, 5);
+    KeySpace b = BuildKeySpace(kind, 200, 5);
+    ASSERT_EQ(a.size(), b.size()) << KeySpaceKindName(kind);
+    ASSERT_GT(a.size(), 0u) << KeySpaceKindName(kind);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.ValueOf(static_cast<uint32_t>(i)),
+                b.ValueOf(static_cast<uint32_t>(i)));
+    }
+  }
+}
+
+TEST(TraceIo, ParseRejectsMalformedInput) {
+  Trace t;
+  std::string err;
+  EXPECT_FALSE(Trace::Parse("nonsense\n", &t, &err));
+  EXPECT_FALSE(Trace::Parse("hot-fuzz-trace v1\n", &t, &err));
+  EXPECT_FALSE(Trace::Parse(
+      "hot-fuzz-trace v1\nkeyspace martian 10 1\nops 0\nend\n", &t, &err));
+  // Declared count disagrees with the body.
+  EXPECT_FALSE(Trace::Parse(
+      "hot-fuzz-trace v1\nkeyspace uniform 10 1\nops 2\ni 3\nend\n", &t,
+      &err));
+  // Missing terminator.
+  EXPECT_FALSE(Trace::Parse(
+      "hot-fuzz-trace v1\nkeyspace uniform 10 1\nops 1\ni 3\n", &t, &err));
+  // Unknown op code.
+  EXPECT_FALSE(Trace::Parse(
+      "hot-fuzz-trace v1\nkeyspace uniform 10 1\nops 1\nx 3\nend\n", &t,
+      &err));
+  // Scan needs two operands.
+  EXPECT_FALSE(Trace::Parse(
+      "hot-fuzz-trace v1\nkeyspace uniform 10 1\nops 1\ns 3\nend\n", &t,
+      &err));
+  // A well-formed minimal trace parses.
+  EXPECT_TRUE(Trace::Parse(
+      "hot-fuzz-trace v1\nkeyspace uniform 10 1\nops 2\ni 3\na\nend\n", &t,
+      &err))
+      << err;
+  EXPECT_EQ(t.ops.size(), 2u);
+  EXPECT_EQ(t.ops[0].kind, OpKind::kInsert);
+  EXPECT_EQ(t.ops[1].kind, OpKind::kAudit);
+}
+
+TEST(TraceIo, SaveAndLoadFileRoundTrip) {
+  Trace t = GenerateTrace(SmallConfig(KeySpaceKind::kPrefix, 11));
+  std::string path = ::testing::TempDir() + "/trace_io_test.trace";
+  ASSERT_TRUE(t.SaveFile(path));
+  Trace back;
+  std::string err;
+  ASSERT_TRUE(Trace::LoadFile(path, &back, &err)) << err;
+  EXPECT_EQ(back.Serialize(), t.Serialize());
+  std::remove(path.c_str());
+  EXPECT_FALSE(Trace::LoadFile(path + ".missing", &back, &err));
+}
+
+TEST(TraceIo, ShrinkReducesToPredicateCore) {
+  // Synthetic predicate: the trace "fails" while it still holds >= 3 insert
+  // ops; the shrinker should strip everything else.
+  Trace t = GenerateTrace(SmallConfig(KeySpaceKind::kUniform, 3));
+  auto inserts = [](const Trace& tr) {
+    size_t c = 0;
+    for (const Op& op : tr.ops) c += op.kind == OpKind::kInsert;
+    return c;
+  };
+  ASSERT_GE(inserts(t), 3u);
+  ShrinkStats st;
+  Trace min = ShrinkTrace(
+      t, [&](const Trace& cand) { return inserts(cand) >= 3; }, &st);
+  EXPECT_EQ(min.ops.size(), 3u);
+  EXPECT_EQ(inserts(min), 3u);
+  EXPECT_GE(st.predicate_calls, 1u);
+  EXPECT_EQ(st.ops_before, t.ops.size());
+  EXPECT_EQ(st.ops_after, 3u);
+  // The shrunk keyspace also came down.
+  EXPECT_LT(min.ks_n, t.ks_n);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace hot

@@ -1,0 +1,42 @@
+// libFuzzer entry point (built only with -DHOT_FUZZ=ON under Clang; GCC has
+// no libFuzzer runtime, so the CMake gate skips this target there).
+//
+// The fuzzer mutates the textual trace format directly: inputs that parse as
+// a `hot-fuzz-trace v1` document are replayed differentially against every
+// index, with op and keyspace budgets capped so each execution stays fast.
+// Any divergence or invariant violation aborts, handing libFuzzer a
+// reproducer that `fuzz_replay --replay` (and ShrinkTrace) consume as-is.
+//
+//   clang++ -fsanitize=fuzzer,address ... (cmake -DHOT_FUZZ=ON)
+//   ./fuzz_diff corpus/ -max_len=65536
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "testing/differ.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace hot::testing;
+  if (size > 1 << 20) return 0;
+  std::string text(reinterpret_cast<const char*>(data), size);
+  Trace trace;
+  std::string err;
+  if (!Trace::Parse(text, &trace, &err)) return 0;
+  // Budget caps: keyspace construction dominates when n is huge, and op
+  // counts beyond a few thousand add latency without new structure.
+  if (trace.ks_n == 0 || trace.ks_n > 4096) trace.ks_n = 4096;
+  if (trace.ops.size() > 4096) trace.ops.resize(4096);
+  trace.ops.push_back(Op{OpKind::kAudit, 0, 0});
+  for (unsigned i = 0; i < kNumIndexes; ++i) {
+    DiffResult res = RunTraceOnIndex(kIndexNames[i], trace);
+    if (!res.ok) {
+      std::fprintf(stderr, "divergence on %s: %s\n", kIndexNames[i],
+                   res.Describe().c_str());
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,275 @@
+// Differential fuzzing driver (tentpole check #4).
+//
+//   fuzz_replay --selftest
+//       serialization round-trip + a small differential on every index
+//   fuzz_replay --record out.trace --kind uniform --n 4096 --seed 7
+//              [--ops 20000] [--zipf] [--audit-every 1000]
+//       generate a deterministic trace and write it to a file
+//   fuzz_replay --replay in.trace [--index all|hot|rowex|art|masstree|btree]
+//       replay a trace file differentially; exit 1 on divergence
+//   fuzz_replay --shrink in.trace --index hot --out min.trace
+//       greedily minimize a failing trace
+//   fuzz_replay --long [--rounds N] [--ops M] [--seed S] [--out-dir DIR]
+//       fuzz campaign: random (kind, seed, mix) rounds across all indexes;
+//       failing traces are shrunk and written to DIR (default .)
+//
+// Every mode is deterministic in its arguments: replaying the same file (or
+// re-running the same --record flags) reproduces byte-identical traces and
+// identical verdicts.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testing/differ.h"
+#include "testing/shrink.h"
+#include "testing/trace.h"
+
+namespace {
+
+using hot::testing::DiffOptions;
+using hot::testing::DiffResult;
+using hot::testing::GenerateTrace;
+using hot::testing::KeySpaceKind;
+using hot::testing::KeySpaceKindFromName;
+using hot::testing::KeySpaceKindName;
+using hot::testing::kIndexNames;
+using hot::testing::kNumIndexes;
+using hot::testing::kNumKeySpaceKinds;
+using hot::testing::RunTraceOnIndex;
+using hot::testing::ShrinkStats;
+using hot::testing::ShrinkTrace;
+using hot::testing::Trace;
+using hot::testing::TraceGenConfig;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --selftest | --record FILE [opts] | --replay FILE "
+               "[--index NAME] | --shrink FILE --index NAME --out FILE | "
+               "--long [opts]\n",
+               argv0);
+  return 2;
+}
+
+struct Args {
+  std::string mode;
+  std::string file;
+  std::string out = "min.trace";
+  std::string out_dir = ".";
+  std::string index = "all";
+  std::string kind = "uniform";
+  uint64_t n = 4096;
+  uint64_t seed = 1;
+  uint64_t ops = 20000;
+  uint64_t rounds = 20;
+  uint64_t audit_every = 1000;
+  bool zipf = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--selftest" || arg == "--long") {
+      a->mode = arg.substr(2);
+    } else if (arg == "--record" || arg == "--replay" || arg == "--shrink") {
+      a->mode = arg.substr(2);
+      const char* v = need_value();
+      if (v == nullptr) return false;
+      a->file = v;
+    } else if (arg == "--zipf") {
+      a->zipf = true;
+    } else {
+      const char* v = need_value();
+      if (v == nullptr) return false;
+      if (arg == "--index") a->index = v;
+      else if (arg == "--kind") a->kind = v;
+      else if (arg == "--out") a->out = v;
+      else if (arg == "--out-dir") a->out_dir = v;
+      else if (arg == "--n") a->n = std::strtoull(v, nullptr, 10);
+      else if (arg == "--seed") a->seed = std::strtoull(v, nullptr, 10);
+      else if (arg == "--ops") a->ops = std::strtoull(v, nullptr, 10);
+      else if (arg == "--rounds") a->rounds = std::strtoull(v, nullptr, 10);
+      else if (arg == "--audit-every")
+        a->audit_every = std::strtoull(v, nullptr, 10);
+      else {
+        std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+        return false;
+      }
+    }
+  }
+  return !a->mode.empty();
+}
+
+// Runs the trace on one index or, for "all", every index; returns the
+// number of failures and reports each.
+int ReplayOn(const std::string& index, const Trace& trace) {
+  int failures = 0;
+  for (unsigned i = 0; i < kNumIndexes; ++i) {
+    if (index != "all" && index != kIndexNames[i]) continue;
+    DiffResult res = RunTraceOnIndex(kIndexNames[i], trace);
+    std::printf("[%s] %s\n", kIndexNames[i], res.Describe().c_str());
+    if (!res.ok) ++failures;
+  }
+  return failures;
+}
+
+int SelfTest() {
+  // Byte-identical round-trip across every keyspace kind.
+  for (unsigned k = 0; k < kNumKeySpaceKinds; ++k) {
+    TraceGenConfig cfg;
+    cfg.kind = static_cast<KeySpaceKind>(k);
+    cfg.n = 256;
+    cfg.seed = 42 + k;
+    cfg.num_ops = 400;
+    cfg.audit_every = 100;
+    cfg.zipf_pick = (k % 2) == 1;
+    Trace t = GenerateTrace(cfg);
+    std::string text = t.Serialize();
+    Trace back;
+    std::string err;
+    if (!Trace::Parse(text, &back, &err)) {
+      std::fprintf(stderr, "selftest: parse failed for kind %s: %s\n",
+                   KeySpaceKindName(cfg.kind), err.c_str());
+      return 1;
+    }
+    if (back.Serialize() != text) {
+      std::fprintf(stderr, "selftest: round-trip not byte-identical (%s)\n",
+                   KeySpaceKindName(cfg.kind));
+      return 1;
+    }
+    int failures = ReplayOn("all", t);
+    if (failures != 0) {
+      t.SaveFile("selftest-fail.trace");
+      std::fprintf(stderr,
+                   "selftest: %d differential failures (kind %s), trace "
+                   "written to selftest-fail.trace\n",
+                   failures, KeySpaceKindName(cfg.kind));
+      return 1;
+    }
+  }
+  std::printf("selftest ok\n");
+  return 0;
+}
+
+int LongCampaign(const Args& a) {
+  uint64_t total_ops = 0;
+  int failures = 0;
+  for (uint64_t round = 0; round < a.rounds; ++round) {
+    TraceGenConfig cfg;
+    cfg.kind = static_cast<KeySpaceKind>((a.seed + round) % kNumKeySpaceKinds);
+    cfg.seed = a.seed * 1000003 + round;
+    cfg.n = 512u << (round % 5);  // 512 .. 8192
+    cfg.num_ops = a.ops;
+    cfg.zipf_pick = (round % 3) == 0;
+    cfg.audit_every = a.audit_every;
+    Trace t = GenerateTrace(cfg);
+    for (unsigned i = 0; i < kNumIndexes; ++i) {
+      if (a.index != "all" && a.index != kIndexNames[i]) continue;
+      DiffResult res = RunTraceOnIndex(kIndexNames[i], t);
+      total_ops += res.ops_executed;
+      if (res.ok) continue;
+      ++failures;
+      std::printf("round %" PRIu64 " [%s] %s\n", round, kIndexNames[i],
+                  res.Describe().c_str());
+      std::string name = kIndexNames[i];
+      ShrinkStats st;
+      Trace min = ShrinkTrace(
+          t,
+          [&](const Trace& cand) {
+            return !RunTraceOnIndex(name, cand).ok;
+          },
+          &st);
+      std::string path = a.out_dir + "/fail-" + name + "-" +
+                         KeySpaceKindName(cfg.kind) + "-r" +
+                         std::to_string(round) + ".trace";
+      if (min.SaveFile(path)) {
+        std::printf("  shrunk %zu -> %zu ops (%zu replays), wrote %s\n",
+                    st.ops_before, st.ops_after, st.predicate_calls,
+                    path.c_str());
+      } else {
+        std::printf("  could not write %s\n", path.c_str());
+      }
+    }
+    if ((round + 1) % 10 == 0 || round + 1 == a.rounds) {
+      std::printf("progress: %" PRIu64 "/%" PRIu64 " rounds, %" PRIu64
+                  " ops executed, %d failures\n",
+                  round + 1, a.rounds, total_ops, failures);
+      std::fflush(stdout);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!ParseArgs(argc, argv, &a)) return Usage(argv[0]);
+
+  if (a.mode == "selftest") return SelfTest();
+
+  if (a.mode == "record") {
+    TraceGenConfig cfg;
+    if (!KeySpaceKindFromName(a.kind, &cfg.kind)) {
+      std::fprintf(stderr, "unknown keyspace kind %s\n", a.kind.c_str());
+      return 2;
+    }
+    cfg.n = static_cast<uint32_t>(a.n);
+    cfg.seed = a.seed;
+    cfg.num_ops = a.ops;
+    cfg.zipf_pick = a.zipf;
+    cfg.audit_every = a.audit_every;
+    Trace t = GenerateTrace(cfg);
+    if (!t.SaveFile(a.file)) {
+      std::fprintf(stderr, "cannot write %s\n", a.file.c_str());
+      return 1;
+    }
+    std::printf("recorded %zu ops to %s\n", t.ops.size(), a.file.c_str());
+    return 0;
+  }
+
+  if (a.mode == "replay" || a.mode == "shrink") {
+    Trace t;
+    std::string err;
+    if (!Trace::LoadFile(a.file, &t, &err)) {
+      std::fprintf(stderr, "cannot load %s: %s\n", a.file.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    if (a.mode == "replay") return ReplayOn(a.index, t) == 0 ? 0 : 1;
+    if (a.index == "all") {
+      std::fprintf(stderr, "--shrink needs a concrete --index\n");
+      return 2;
+    }
+    if (RunTraceOnIndex(a.index, t).ok) {
+      std::fprintf(stderr, "trace does not fail on %s; nothing to shrink\n",
+                   a.index.c_str());
+      return 1;
+    }
+    ShrinkStats st;
+    Trace min = ShrinkTrace(
+        t,
+        [&](const Trace& cand) { return !RunTraceOnIndex(a.index, cand).ok; },
+        &st);
+    if (!min.SaveFile(a.out)) {
+      std::fprintf(stderr, "cannot write %s\n", a.out.c_str());
+      return 1;
+    }
+    std::printf("shrunk %zu -> %zu ops (%zu replays), wrote %s\n",
+                st.ops_before, st.ops_after, st.predicate_calls,
+                a.out.c_str());
+    return 0;
+  }
+
+  if (a.mode == "long") return LongCampaign(a);
+  return Usage(argv[0]);
+}
