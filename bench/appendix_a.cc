@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
       .Add("keys", cfg.keys)
       .Add("ops", cfg.ops)
       .Add("batch", cfg.batch)
-      .Add("seed", cfg.seed);
+      .Add("seed", cfg.seed)
+      .Add("latency", cfg.latency)
+      .Add("counters", cfg.counters);
   Table table({"workload", "dist", "dataset", "HOT", "ART", "Masstree", "BT"});
   table.PrintHeader();
   for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
@@ -38,8 +40,9 @@ int main(int argc, char** argv) {
       for (DataSetKind kind : kAllDataSets) {
         DataSet ds = GenerateDataSet(kind, CapacityFor(cfg.keys, cfg.ops, spec),
                                      cfg.seed);
-        auto results =
-            RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed, cfg.batch);
+        ObsOptions obs_opt{cfg.latency, cfg.counters};
+        auto results = RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed,
+                                     cfg.batch, obs_opt);
         std::vector<std::string> row = {std::string(1, w),
                                         DistributionName(spec.dist),
                                         DataSetName(kind)};
@@ -52,9 +55,16 @@ int main(int argc, char** argv) {
               .Add("index", r.index)
               .Add("mops", r.run.TxnMops())
               .Add("failed_ops", r.run.failed_ops);
+          if (cfg.latency && r.observers != nullptr) {
+            AddLatencyFields(j, *r.observers);
+          }
+          if (cfg.counters && r.observers != nullptr) AddCounterFields(j, r);
           json.AddResult(j);
         }
         table.PrintRow(row);
+        if (cfg.latency) {
+          for (const auto& r : results) PrintLatencySummary(r);
+        }
       }
     }
   }

@@ -34,8 +34,9 @@ void RunWorkloadRow(const BenchConfig& cfg, char workload, BenchJson& json) {
   for (DataSetKind kind : kAllDataSets) {
     DataSet ds = GenerateDataSet(kind, CapacityFor(cfg.keys, cfg.ops, spec),
                                  cfg.seed);
-    auto results =
-        RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed, cfg.batch);
+    ObsOptions obs_opt{cfg.latency, cfg.counters};
+    auto results = RunAllIndexes(ds, cfg.keys, cfg.ops, spec, cfg.seed,
+                                 cfg.batch, obs_opt);
     std::vector<std::string> row = {DataSetName(kind)};
     for (const auto& r : results) {
       row.push_back(Fmt(r.run.TxnMops()));
@@ -45,10 +46,17 @@ void RunWorkloadRow(const BenchConfig& cfg, char workload, BenchJson& json) {
           .Add("index", r.index)
           .Add("mops", r.run.TxnMops())
           .Add("failed_ops", r.run.failed_ops);
+      if (cfg.latency && r.observers != nullptr) {
+        AddLatencyFields(j, *r.observers);
+      }
+      if (cfg.counters && r.observers != nullptr) AddCounterFields(j, r);
       json.AddResult(j);
     }
     row.push_back("mops");
     table.PrintRow(row);
+    if (cfg.latency) {
+      for (const auto& r : results) PrintLatencySummary(r);
+    }
   }
 }
 
@@ -61,7 +69,9 @@ void RunInsertOnlyRow(const BenchConfig& cfg, BenchJson& json) {
   for (DataSetKind kind : kAllDataSets) {
     DataSet ds = GenerateDataSet(kind, cfg.keys, cfg.seed);
     // Zero transaction ops: we time only the load.
-    auto results = RunAllIndexes(ds, cfg.keys, 0, spec, cfg.seed);
+    ObsOptions obs_opt{/*latency=*/false, cfg.counters};
+    auto results =
+        RunAllIndexes(ds, cfg.keys, 0, spec, cfg.seed, 1, obs_opt);
     std::vector<std::string> row = {DataSetName(kind)};
     for (const auto& r : results) {
       row.push_back(Fmt(r.run.LoadMops()));
@@ -71,6 +81,7 @@ void RunInsertOnlyRow(const BenchConfig& cfg, BenchJson& json) {
           .Add("index", r.index)
           .Add("mops", r.run.LoadMops())
           .Add("failed_ops", r.run.failed_ops);
+      if (cfg.counters && r.observers != nullptr) AddCounterFields(j, r);
       json.AddResult(j);
     }
     row.push_back("mops");
@@ -89,7 +100,9 @@ int main(int argc, char** argv) {
       .Add("keys", cfg.keys)
       .Add("ops", cfg.ops)
       .Add("batch", cfg.batch)
-      .Add("seed", cfg.seed);
+      .Add("seed", cfg.seed)
+      .Add("latency", cfg.latency)
+      .Add("counters", cfg.counters);
   bool all = cfg.filter.empty();
   if (all || cfg.filter == "C") RunWorkloadRow(cfg, 'C', json);
   if (all || cfg.filter == "E") RunWorkloadRow(cfg, 'E', json);

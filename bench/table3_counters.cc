@@ -1,0 +1,195 @@
+// Table 3: per-lookup hardware counters (§6.2).  The paper explains HOT's
+// throughput micro-architecturally — cycles, instructions, L3 misses,
+// branch mispredictions and TLB misses per lookup — for HOT, ART, Masstree
+// and the B+-tree.  This bench reproduces that table for all five index
+// structures in the repository (HOT, ROWEX, ART, Masstree, BT) on the four
+// data sets, under YCSB workload C (100% uniform lookups) so the
+// transaction phase *is* the per-lookup profile.
+//
+// The measurement runs the whole transaction phase inside one
+// perf_event_open group (obs/perf_counters.h) and divides by the op count.
+// Where the syscall is unavailable (CI containers, HOT_NO_PERF=1) the run
+// degrades to the rdtsc fallback: hw_counters=false is recorded in the JSON
+// and only ns/op (plus the latency percentiles) is reported — never silent
+// zeros.
+//
+// Each HOT-family row also folds in the index telemetry snapshot
+// (obs/telemetry.h): node counts, fill factors, pool and epoch counters.
+//
+// Usage: table3_counters [--keys=N] [--ops=N] [--smoke]
+//   --smoke   CI scale (50k keys / 100k ops) regardless of other flags.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/json_out.h"
+#include "obs/telemetry.h"
+
+using namespace hot;
+using namespace hot::ycsb;
+using namespace hot::bench;
+
+namespace {
+
+// Telemetry only exists for indexes exposing the node-census walk.
+template <typename Index>
+concept HasTelemetry = requires(const Index& idx) {
+  idx.ForEachNode(std::function<void(NodeRef, unsigned)>());
+};
+
+template <typename Adapter>
+void RunOne(const char* index_name, const DataSet& ds, const char* ds_name,
+            const BenchConfig& cfg, const WorkloadSpec& spec, BenchJson& json,
+            const Table& table) {
+  Adapter adapter(&ds);
+  obs::PerfCounterGroup group;
+  RunObservers observers;
+  observers.counters = &group;
+  RunResult run = RunBenchmark(adapter, ds, cfg.keys, cfg.ops, spec, cfg.seed,
+                               cfg.batch, &observers);
+  observers.counters = nullptr;
+
+  const obs::CounterSample& txn = observers.txn_sample;
+  auto per_op = [&](uint64_t v) {
+    return run.txn_ops == 0 ? 0.0
+                            : static_cast<double>(v) /
+                                  static_cast<double>(run.txn_ops);
+  };
+  double ns_per_op = run.txn_ops == 0
+                         ? 0.0
+                         : obs::TicksToNanos(txn.ticks) /
+                               static_cast<double>(run.txn_ops);
+
+  std::vector<std::string> row = {ds_name, index_name, Fmt(run.TxnMops()),
+                                  Fmt(ns_per_op, 1)};
+  if (txn.hw_valid) {
+    row.push_back(Fmt(per_op(txn.cycles), 1));
+    row.push_back(Fmt(per_op(txn.instructions), 1));
+    row.push_back(Fmt(per_op(txn.llc_misses), 2));
+    row.push_back(Fmt(per_op(txn.branch_misses), 2));
+    row.push_back(Fmt(per_op(txn.dtlb_misses), 2));
+  } else {
+    for (int i = 0; i < 5; ++i) row.push_back("-");
+  }
+  table.PrintRow(row);
+
+  JsonObject j;
+  j.Add("dataset", ds_name)
+      .Add("index", index_name)
+      .Add("workload", std::string(1, spec.name))
+      .Add("mops", run.TxnMops())
+      .Add("ns_per_op", ns_per_op)
+      .Add("failed_ops", run.failed_ops)
+      .Add("hw_counters", txn.hw_valid);
+  if (!group.hw_available()) {
+    j.Add("counter_fallback", group.fallback_reason());
+  }
+  if (txn.hw_valid) {
+    j.Add("cycles_per_op", per_op(txn.cycles))
+        .Add("instr_per_op", per_op(txn.instructions))
+        .Add("llc_miss_per_op", per_op(txn.llc_misses))
+        .Add("branch_miss_per_op", per_op(txn.branch_misses))
+        .Add("dtlb_miss_per_op", per_op(txn.dtlb_misses))
+        .Add("ipc", txn.cycles == 0
+                        ? 0.0
+                        : static_cast<double>(txn.instructions) /
+                              static_cast<double>(txn.cycles));
+  }
+  AddLatencyFields(j, observers);
+
+  if constexpr (HasTelemetry<std::remove_reference_t<
+                    decltype(adapter.index())>>) {
+    obs::TelemetrySnapshot t = obs::CollectTelemetry(adapter.index());
+    j.Add("nodes", t.census.nodes)
+        .Add("node_bytes", t.census.total_bytes)
+        .Add("avg_fanout", t.census.AverageFanout())
+        .Add("fill_factor", t.FillFactor())
+        .Add("pool_hits", t.pool_hits)
+        .Add("pool_carves", t.pool_carves)
+        .Add("writer_restarts", t.writer_restarts)
+        .Add("cow_replacements", t.cow_replacements)
+        .Add("leaf_pushdowns", t.leaf_pushdowns)
+        .Add("fast_splices", t.fast_splices)
+        .Add("nodes_retired", t.nodes_retired)
+        .Add("nodes_reclaimed", t.nodes_reclaimed)
+        .Add("retire_backlog", t.retire_backlog);
+  }
+  json.AddResult(j);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchConfig(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    cfg.keys = 50'000;
+    cfg.ops = 100'000;
+  }
+
+  obs::PerfCounterGroup probe;
+  printf("table3_counters: per-lookup hardware counters (paper Table 3), "
+         "%zu keys, %zu ops%s\n",
+         cfg.keys, cfg.ops, smoke ? " [smoke]" : "");
+  if (!probe.hw_available()) {
+    printf("NOTE: hardware counters unavailable (%s); reporting rdtsc "
+           "ns/op only\n",
+           probe.fallback_reason());
+  }
+
+  BenchJson json("table3_counters");
+  json.meta()
+      .Add("keys", cfg.keys)
+      .Add("ops", cfg.ops)
+      .Add("seed", cfg.seed)
+      .Add("smoke", smoke)
+      .Add("hw_counters", probe.hw_available())
+      .Add("counter_source",
+           probe.hw_available() ? "perf_event_open" : "rdtsc-fallback");
+  if (!probe.hw_available()) {
+    json.meta().Add("counter_fallback", probe.fallback_reason());
+  }
+
+  Table table({"dataset", "index", "mops", "ns/op", "cyc/op", "inst/op",
+               "LLC/op", "brmiss/op", "dTLB/op"},
+              11);
+  table.PrintHeader();
+
+  WorkloadSpec spec = YcsbWorkload('C', Distribution::kUniform);
+  for (DataSetKind kind : kAllDataSets) {
+    DataSet ds = GenerateDataSet(kind, CapacityFor(cfg.keys, cfg.ops, spec),
+                                 cfg.seed);
+    const char* name = DataSetName(kind);
+    if (ds.IsString()) {
+      RunOne<StringDataSetAdapter<HotTrie>>("hot", ds, name, cfg, spec, json,
+                                            table);
+      RunOne<StringDataSetAdapter<RowexHotTrie>>("rowex", ds, name, cfg, spec,
+                                                 json, table);
+      RunOne<StringDataSetAdapter<ArtTree>>("art", ds, name, cfg, spec, json,
+                                            table);
+      RunOne<StringDataSetAdapter<Masstree>>("masstree", ds, name, cfg, spec,
+                                             json, table);
+      RunOne<StringDataSetAdapter<BTree>>("btree", ds, name, cfg, spec, json,
+                                          table);
+    } else {
+      RunOne<IntDataSetAdapter<HotTrie>>("hot", ds, name, cfg, spec, json,
+                                         table);
+      RunOne<IntDataSetAdapter<RowexHotTrie>>("rowex", ds, name, cfg, spec,
+                                              json, table);
+      RunOne<IntDataSetAdapter<ArtTree>>("art", ds, name, cfg, spec, json,
+                                         table);
+      RunOne<IntDataSetAdapter<Masstree>>("masstree", ds, name, cfg, spec,
+                                          json, table);
+      RunOne<IntDataSetAdapter<BTree>>("btree", ds, name, cfg, spec, json,
+                                       table);
+    }
+  }
+  json.WriteFile();
+  return 0;
+}

@@ -45,6 +45,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/stat_counter.h"
+
 namespace hot {
 
 class EpochManager {
@@ -120,6 +122,7 @@ class EpochManager {
     auto& local = limbo_[slot];
     local.items.push_back(
         {ptr, deleter, global_epoch_.load(std::memory_order_acquire)});
+    retired_total_.Add();
     if (local.items.size() >= kCollectThreshold) {
       AdvanceEpoch();
     }
@@ -135,6 +138,7 @@ class EpochManager {
       const auto& item = local.items[i];
       if (item.epoch + 2 <= min_active || min_active == kIdle) {
         item.deleter(item.ptr);
+        reclaimed_total_.Add();
       } else {
         local.items[kept++] = item;
       }
@@ -146,7 +150,10 @@ class EpochManager {
   // epoch (e.g. destruction, single-threaded tests).
   void CollectAll() {
     for (size_t s = 0; s < kMaxThreads; ++s) {
-      for (const auto& item : limbo_[s].items) item.deleter(item.ptr);
+      for (const auto& item : limbo_[s].items) {
+        item.deleter(item.ptr);
+        reclaimed_total_.Add();
+      }
       limbo_[s].items.clear();
     }
   }
@@ -159,6 +166,24 @@ class EpochManager {
     size_t n = 0;
     for (size_t s = 0; s < kMaxThreads; ++s) n += limbo_[s].items.size();
     return n;
+  }
+
+  // Telemetry (obs/telemetry.h): lifetime totals of retires and physical
+  // frees.  With HOT_STATS=OFF both read as zero.
+  uint64_t retired_total() const { return retired_total_.value(); }
+  uint64_t reclaimed_total() const { return reclaimed_total_.value(); }
+
+  // Epoch stamp of the oldest limbo entry (kIdle when the limbo lists are
+  // empty).  global_epoch() minus this is the reclamation lag.  Quiescent-
+  // only: racy against concurrent Retire/Collect.
+  uint64_t OldestRetiredEpoch() const {
+    uint64_t oldest = kIdle;
+    for (size_t s = 0; s < kMaxThreads; ++s) {
+      for (const auto& item : limbo_[s].items) {
+        if (item.epoch < oldest) oldest = item.epoch;
+      }
+    }
+    return oldest;
   }
 
   // Number of slots currently claimed by live threads (test support; racy
@@ -303,6 +328,8 @@ class EpochManager {
 
   const uint64_t id_ = NextManagerId();
   std::atomic<uint64_t> global_epoch_{1};
+  obs::StatCounter retired_total_;
+  obs::StatCounter reclaimed_total_;
   Slot slots_[kMaxThreads];
   LimboList limbo_[kMaxThreads];
 };

@@ -29,6 +29,7 @@
 
 #include "common/alloc.h"
 #include "common/locks.h"
+#include "obs/stat_counter.h"
 
 namespace hot {
 
@@ -61,9 +62,11 @@ class NodePool {
       void* head = free_heads_[cls];
       if (head != nullptr) {
         free_heads_[cls] = *static_cast<void**>(head);
+        hits_.Add();
         return head;
       }
     }
+    carves_.Add();
     return CarveBlock(rounded);
   }
 
@@ -81,6 +84,14 @@ class NodePool {
 
   // Bytes held in arena chunks (live nodes + free lists + bump slack).
   size_t ArenaBytes() const { return chunks_.size() * kChunkBytes; }
+
+  // Telemetry (obs/telemetry.h): allocations served from a free list vs
+  // bump-carved from an arena.  Zero with HOT_STATS=OFF.
+  struct Stats {
+    uint64_t hits;
+    uint64_t carves;
+  };
+  Stats stats() const { return {hits_.value(), carves_.value()}; }
 
  private:
   static constexpr size_t kNumClasses = kMaxPooledBytes / kGranularity + 1;
@@ -114,6 +125,8 @@ class NodePool {
   }
 
   MemoryCounter* counter_;
+  obs::StatCounter hits_;
+  obs::StatCounter carves_;
   void* free_heads_[kNumClasses];
   std::atomic_flag class_locks_[kNumClasses] = {};
   std::atomic_flag bump_lock_ = ATOMIC_FLAG_INIT;

@@ -46,6 +46,7 @@
 #include "hot/node_pool.h"
 #include "hot/node_search.h"
 #include "hot/validate.h"
+#include "obs/telemetry.h"
 
 namespace hot {
 
@@ -214,6 +215,7 @@ class RowexHotTrie {
       int r = TryInsert(value);
       if (r >= 0) return r != 0;
       // validation failed: restart
+      telemetry_.writer_restarts.Add();
     }
   }
 
@@ -222,6 +224,7 @@ class RowexHotTrie {
       EpochGuard guard(&epochs_);
       int r = TryRemove(key);
       if (r >= 0) return r != 0;
+      telemetry_.writer_restarts.Add();
     }
   }
 
@@ -243,6 +246,7 @@ class RowexHotTrie {
         // overwrite (concurrent Remove) — retry as a fresh insert.
       }
       // restart
+      telemetry_.writer_restarts.Add();
     }
   }
 
@@ -251,10 +255,23 @@ class RowexHotTrie {
   MemoryCounter* counter() const { return alloc_.counter(); }
   EpochManager* epochs() const { return &epochs_; }
 
+  // Telemetry surfaces (obs/telemetry.h capability dispatch).  The counter
+  // reads are relaxed and may be slightly stale under concurrent writers;
+  // exact invariants hold at quiescent points.
+  const obs::RowexCounters& rowex_counters() const { return telemetry_; }
+  NodePool::Stats pool_stats() const { return alloc_.stats(); }
+
   // Quiescent-only introspection (no concurrent writers).
   void ForEachLeaf(
       const std::function<void(unsigned depth, uint64_t value)>& fn) const {
     LeafRec(root_.load(std::memory_order_acquire), 0, fn);
+  }
+
+  // Visits every compound node with its depth (root nodes have depth 1);
+  // same contract as HotTrie::ForEachNode.  Quiescent-only.
+  void ForEachNode(
+      const std::function<void(NodeRef, unsigned depth)>& fn) const {
+    NodeRec(root_.load(std::memory_order_acquire), 1, fn);
   }
 
   // Checks every structural invariant of the current tree.  Quiescent-only
@@ -442,6 +459,7 @@ class RowexHotTrie {
       }
       StoreSlot(slot, entry);
       tnode.header()->lock.Unlock();
+      telemetry_.leaf_pushdowns.Add();
       size_.fetch_add(1, std::memory_order_relaxed);
       return 1;
     }
@@ -540,6 +558,8 @@ class RowexHotTrie {
         }
         Retire(path[target].node);
         unlock_all();
+        telemetry_.fast_splices.Add();
+        telemetry_.cow_replacements.Add();
         size_.fetch_add(1, std::memory_order_relaxed);
         return 1;
       }
@@ -622,6 +642,7 @@ class RowexHotTrie {
     for (unsigned lvl = cow_top; lvl <= target; ++lvl) {
       Retire(path[lvl].node);
     }
+    telemetry_.cow_replacements.Add(target - cow_top + 1);
 
     // (e) unlock (top-down order; obsolete nodes' locks are dead anyway).
     unlock_all();
@@ -769,9 +790,20 @@ class RowexHotTrie {
                 replacement);
     }
     Retire(path[leaf_level].node);
+    telemetry_.cow_replacements.Add();
     unlock_all();
     size_.fetch_sub(1, std::memory_order_relaxed);
     return 1;
+  }
+
+  void NodeRec(uint64_t entry, unsigned depth,
+               const std::function<void(NodeRef, unsigned)>& fn) const {
+    if (!HotEntry::IsNode(entry)) return;
+    NodeRef node = NodeRef::FromEntry(entry);
+    fn(node, depth);
+    for (unsigned i = 0; i < node.count(); ++i) {
+      NodeRec(node.values()[i], depth + 1, fn);
+    }
   }
 
   void LeafRec(uint64_t entry, unsigned depth,
@@ -797,6 +829,7 @@ class RowexHotTrie {
   KeyExtractor extractor_;
   mutable NodePool alloc_;
   mutable EpochManager epochs_;
+  obs::RowexCounters telemetry_;
   RowexLockWord root_lock_;
   std::atomic<uint64_t> root_;
   std::atomic<size_t> size_{0};

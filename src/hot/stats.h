@@ -48,6 +48,7 @@ DepthStats ComputeDepthStats(const Index& index) {
 struct NodeCensus {
   std::array<uint64_t, kNumNodeTypes> count_by_type{};
   std::array<uint64_t, kNumNodeTypes> bytes_by_type{};
+  std::array<uint64_t, kNumNodeTypes> entries_by_type{};
   uint64_t nodes = 0;
   uint64_t total_bytes = 0;
   uint64_t total_entries = 0;
@@ -66,6 +67,7 @@ NodeCensus ComputeNodeCensus(const Trie& trie) {
     auto t = static_cast<size_t>(node.type());
     ++census.count_by_type[t];
     census.bytes_by_type[t] += node.SizeBytes();
+    census.entries_by_type[t] += node.count();
     ++census.nodes;
     census.total_bytes += node.SizeBytes();
     census.total_entries += node.count();

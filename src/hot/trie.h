@@ -146,6 +146,7 @@ class HotTrie {
 
   const KeyExtractor& extractor() const { return extractor_; }
   MemoryCounter* counter() const { return alloc_.counter(); }
+  NodePool::Stats pool_stats() const { return alloc_.stats(); }
   uint64_t root_entry() const { return root_; }
 
  private:

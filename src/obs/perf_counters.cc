@@ -1,0 +1,178 @@
+#include "obs/perf_counters.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace hot {
+namespace obs {
+
+uint64_t ReadTicks() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+namespace {
+
+// Calibrates the tick source against steady_clock over a short window.
+// On non-x86 ReadTicks already returns nanoseconds, so the ratio is ~1e9.
+double CalibrateTicksPerSecond() {
+#if defined(__x86_64__)
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
+  uint64_t c0 = ReadTicks();
+  // ~10ms window: long enough for <0.1% calibration error, short enough to
+  // be invisible at startup.
+  for (;;) {
+    auto t1 = Clock::now();
+    if (t1 - t0 >= std::chrono::milliseconds(10)) {
+      uint64_t c1 = ReadTicks();
+      double seconds = std::chrono::duration<double>(t1 - t0).count();
+      return static_cast<double>(c1 - c0) / seconds;
+    }
+  }
+#else
+  return 1e9;
+#endif
+}
+
+}  // namespace
+
+double TicksPerSecond() {
+  static const double rate = CalibrateTicksPerSecond();
+  return rate;
+}
+
+double TicksToNanos(uint64_t ticks) {
+  return static_cast<double>(ticks) * 1e9 / TicksPerSecond();
+}
+
+bool PerfCounterGroup::DisabledByEnv() {
+  const char* v = std::getenv("HOT_NO_PERF");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int PerfEventOpen(perf_event_attr* attr, int group_fd) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+              /*flags=*/0));
+}
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Order matches fds_: cycles (leader), instructions, LLC misses, branch
+// misses, dTLB read misses (the §6.2 counter set).
+constexpr EventSpec kEvents[5] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+};
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  if (DisabledByEnv()) {
+    fallback_reason_ = "HOT_NO_PERF set";
+    return;
+  }
+  for (int i = 0; i < 5; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = kEvents[i].type;
+    attr.config = kEvents[i].config;
+    attr.disabled = (i == 0) ? 1 : 0;  // enable the whole group at once
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    int group_fd = (i == 0) ? -1 : fds_[0];
+    int fd = PerfEventOpen(&attr, group_fd);
+    if (fd < 0) {
+      if (i == 0) {
+        // No leader, no group: pure fallback.
+        fallback_reason_ = "perf_event_open unavailable";
+        return;
+      }
+      continue;  // a missing sibling just reads as zero
+    }
+    fds_[i] = fd;
+    read_slot_[i] = n_open_++;
+  }
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+CounterSample PerfCounterGroup::Read() const {
+  CounterSample s;
+  s.ticks = ReadTicks();
+  if (fds_[0] < 0) return s;
+  // PERF_FORMAT_GROUP read layout: u64 nr, then one u64 per member in
+  // attachment order.
+  uint64_t buf[1 + 5];
+  ssize_t want = static_cast<ssize_t>((1 + n_open_) * sizeof(uint64_t));
+  if (read(fds_[0], buf, sizeof(buf)) < want) return s;
+  auto value_of = [&](int event) -> uint64_t {
+    int slot = read_slot_[event];
+    return slot < 0 ? 0 : buf[1 + slot];
+  };
+  s.cycles = value_of(0);
+  s.instructions = value_of(1);
+  s.llc_misses = value_of(2);
+  s.branch_misses = value_of(3);
+  s.dtlb_misses = value_of(4);
+  s.hw_valid = true;
+  return s;
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup() {
+  fallback_reason_ = DisabledByEnv() ? "HOT_NO_PERF set" : "not linux";
+}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+CounterSample PerfCounterGroup::Read() const {
+  CounterSample s;
+  s.ticks = ReadTicks();
+  return s;
+}
+
+#endif  // __linux__
+
+}  // namespace obs
+}  // namespace hot

@@ -1,0 +1,139 @@
+// Hardware performance-counter harness (observability tentpole, part 1).
+//
+// The paper explains HOT's throughput wins micro-architecturally (§6.2,
+// Table 3): cycles, instructions, L3 misses, branch mispredictions and TLB
+// misses *per lookup*.  This header reproduces that instrumentation as a
+// `perf_event_open` counter group — one group leader (cycles) with the
+// sibling events attached, read atomically in a single group read so the
+// five values cover exactly the same instruction window.
+//
+// Graceful degradation is a first-class mode, not an error path: CI
+// containers typically deny the syscall (seccomp / perf_event_paranoid),
+// and `HOT_NO_PERF=1` forces the same path for testing.  In that case the
+// harness still measures wall time via rdtsc (calibrated to nanoseconds
+// against steady_clock), `hw_valid` is false on every sample, and every
+// consumer (bench/table3_counters, the YCSB --counters flag) reports the
+// fallback explicitly instead of failing.
+//
+//   PerfCounterGroup group;                  // opens fds once, or falls back
+//   {
+//     CounterRegion region(&group);
+//     ... measured code ...
+//     CounterSample delta = region.Stop();   // or let the dtor fill an out ptr
+//   }
+//
+// Regions nest freely: a region only stores two point-in-time group reads,
+// so an inner region's deltas are always bounded by its enclosing region's.
+
+#ifndef HOT_OBS_PERF_COUNTERS_H_
+#define HOT_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace hot {
+namespace obs {
+
+// Monotonic tick source for latency measurement: rdtsc on x86-64 (constant
+// TSC assumed, as on every mainstream server part), steady_clock nanoseconds
+// elsewhere.  Cheap enough to call per operation (~6ns).
+uint64_t ReadTicks();
+
+// Ticks-to-nanoseconds conversion, calibrated once against steady_clock on
+// first use (thread-safe).
+double TicksToNanos(uint64_t ticks);
+double TicksPerSecond();
+
+// One point-in-time (or delta) reading of the counter group.  `ticks` is
+// always valid; the five hardware counters are meaningful only when
+// `hw_valid` is set (group leader opened and counting).
+struct CounterSample {
+  uint64_t ticks = 0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t dtlb_misses = 0;
+  bool hw_valid = false;
+
+  CounterSample operator-(const CounterSample& start) const {
+    CounterSample d;
+    d.ticks = ticks - start.ticks;
+    d.cycles = cycles - start.cycles;
+    d.instructions = instructions - start.instructions;
+    d.llc_misses = llc_misses - start.llc_misses;
+    d.branch_misses = branch_misses - start.branch_misses;
+    d.dtlb_misses = dtlb_misses - start.dtlb_misses;
+    d.hw_valid = hw_valid && start.hw_valid;
+    return d;
+  }
+};
+
+// A perf_event_open group: leader = cycles, siblings = instructions, LLC
+// misses, branch misses, dTLB misses, all read in one PERF_FORMAT_GROUP
+// read.  Construction opens the fds for the calling thread (inherited by
+// nothing: measure on the thread that constructed the group); destruction
+// closes them.  When the syscall is unavailable — or HOT_NO_PERF is set in
+// the environment — the group is a pure rdtsc fallback.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // True when the hardware group opened and samples carry real counters.
+  bool hw_available() const { return fds_[0] >= 0; }
+
+  // Why the hardware path is off ("" when hw_available()).
+  const char* fallback_reason() const { return fallback_reason_; }
+
+  // Point-in-time group read (+ ticks).  Monotonic between calls on the
+  // owning thread.
+  CounterSample Read() const;
+
+  // True when the environment disables the hardware path (HOT_NO_PERF=1);
+  // consulted at construction, exposed for tests.
+  static bool DisabledByEnv();
+
+ private:
+  // fds_[0] is the group leader; -1 entries were denied and read as zero.
+  int fds_[5] = {-1, -1, -1, -1, -1};
+  // Position of each event's value in the group-read buffer, -1 if unopened.
+  int read_slot_[5] = {-1, -1, -1, -1, -1};
+  int n_open_ = 0;
+  const char* fallback_reason_ = "";
+};
+
+// Scoped measurement: snapshots the group at construction; Stop() (or the
+// destructor, into `out` if provided) yields the delta.
+class CounterRegion {
+ public:
+  explicit CounterRegion(PerfCounterGroup* group, CounterSample* out = nullptr)
+      : group_(group), out_(out), start_(group->Read()) {}
+
+  ~CounterRegion() {
+    if (!stopped_ && out_ != nullptr) *out_ = group_->Read() - start_;
+  }
+
+  CounterRegion(const CounterRegion&) = delete;
+  CounterRegion& operator=(const CounterRegion&) = delete;
+
+  CounterSample Stop() {
+    stopped_ = true;
+    CounterSample d = group_->Read() - start_;
+    if (out_ != nullptr) *out_ = d;
+    return d;
+  }
+
+ private:
+  PerfCounterGroup* group_;
+  CounterSample* out_;
+  CounterSample start_;
+  bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace hot
+
+#endif  // HOT_OBS_PERF_COUNTERS_H_

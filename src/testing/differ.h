@@ -23,6 +23,7 @@
 #define HOT_TESTING_DIFFER_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -35,6 +36,7 @@
 #include "hot/rowex.h"
 #include "hot/trie.h"
 #include "masstree/masstree.h"
+#include "obs/telemetry.h"
 #include "patricia/patricia.h"
 #include "testing/adapters.h"
 #include "testing/audit.h"
@@ -367,6 +369,28 @@ class TraceRunner {
               << hot_depth << " compound nodes but only " << binodes
               << " Patricia BiNodes";
           return fail();
+        }
+      }
+      // Telemetry cross-check: the obs/telemetry.h census (ForEachNode) must
+      // agree with the audit.h walk (validate.h-backed) on the node count
+      // and the per-layout breakdown — two independent tree traversals.
+      if constexpr (requires {
+                      index_.ForEachNode(
+                          std::function<void(NodeRef, unsigned)>());
+                    }) {
+        obs::TelemetrySnapshot snap = obs::CollectTelemetry(index_);
+        if (snap.census.nodes != last_audit_.nodes) {
+          oss << "audit census: telemetry counts " << snap.census.nodes
+              << " nodes, structural audit counts " << last_audit_.nodes;
+          return fail();
+        }
+        for (size_t t = 0; t < kNumNodeTypes; ++t) {
+          if (snap.census.count_by_type[t] != last_audit_.layout_counts[t]) {
+            oss << "audit census: layout " << t << " telemetry "
+                << snap.census.count_by_type[t] << ", structural audit "
+                << last_audit_.layout_counts[t];
+            return fail();
+          }
         }
       }
     } else if constexpr (HasCheckStructure<Index>) {

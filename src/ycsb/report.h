@@ -26,6 +26,8 @@ struct BenchConfig {
   unsigned batch = 1;    // read-batch width (1 = scalar lookups)
   uint64_t seed = 42;
   std::string filter;  // optional: restrict workloads/datasets
+  bool latency = false;   // per-op-type latency histograms (obs/histogram.h)
+  bool counters = false;  // per-phase hardware counters (obs/perf_counters.h)
 };
 
 inline size_t ParseSizeWithSuffix(const char* s) {
@@ -55,9 +57,11 @@ inline BenchConfig ParseBenchConfig(int argc, char** argv) {
     else if (strncmp(a, "--batch=", 8) == 0) cfg.batch = atoi(a + 8);
     else if (strncmp(a, "--seed=", 7) == 0) cfg.seed = strtoull(a + 7, nullptr, 10);
     else if (strncmp(a, "--workload=", 11) == 0) cfg.filter = a + 11;
+    else if (strcmp(a, "--latency") == 0) cfg.latency = true;
+    else if (strcmp(a, "--counters") == 0) cfg.counters = true;
     else if (strcmp(a, "--help") == 0) {
       printf("flags: --keys=N --ops=N --threads=N --batch=N --seed=N "
-             "--workload=F\n");
+             "--workload=F --latency --counters\n");
       exit(0);
     }
   }

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/histogram.h"
+#include "obs/perf_counters.h"
 #include "ycsb/datasets.h"
 
 namespace hot {
@@ -103,6 +105,35 @@ struct RunResult {
   }
 };
 
+// Optional per-run observability (the --latency / --counters driver flags).
+// When a RunObservers* is passed to RunBenchmark, every transaction-phase
+// operation is timed with ReadTicks into the per-op-type histogram
+// (batched-read flushes are timed once and attributed to each member via
+// RecordN), and — when `counters` points at a PerfCounterGroup — the load
+// and transaction phases each run inside a CounterRegion, yielding the
+// Table-3 style hardware profile of the whole phase.
+struct RunObservers {
+  obs::LatencyHistogram read;
+  obs::LatencyHistogram update;
+  obs::LatencyHistogram insert;
+  obs::LatencyHistogram scan;
+  obs::LatencyHistogram rmw;
+
+  obs::PerfCounterGroup* counters = nullptr;  // optional; borrowed
+  obs::CounterSample load_sample;             // filled when counters != null
+  obs::CounterSample txn_sample;
+
+  // Visits the non-empty histograms with their op-type names.
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    if (read.count() != 0) fn("read", read);
+    if (update.count() != 0) fn("update", update);
+    if (insert.count() != 0) fn("insert", insert);
+    if (scan.count() != 0) fn("scan", scan);
+    if (rmw.count() != 0) fn("rmw", rmw);
+  }
+};
+
 // Shuffled record order for the load phase (the paper loads keys in random
 // order); deterministic in `seed`.
 inline std::vector<uint32_t> LoadOrder(size_t n, uint64_t seed) {
@@ -128,15 +159,24 @@ inline std::vector<uint32_t> LoadOrder(size_t n, uint64_t seed) {
 template <typename Adapter>
 RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
                        size_t txn_ops, const WorkloadSpec& spec,
-                       uint64_t seed = 7, unsigned batch = 1) {
+                       uint64_t seed = 7, unsigned batch = 1,
+                       RunObservers* obs = nullptr) {
   using Clock = std::chrono::steady_clock;
   RunResult result;
+  const bool timed = obs != nullptr;
+  obs::PerfCounterGroup* counters =
+      obs != nullptr ? obs->counters : nullptr;
 
   // --- load phase -----------------------------------------------------------
   std::vector<uint32_t> order = LoadOrder(load_n, seed);
   auto t0 = Clock::now();
-  for (uint32_t i : order) {
-    if (!adapter.InsertRecord(i)) ++result.failed_ops;
+  {
+    obs::CounterSample start;
+    if (counters != nullptr) start = counters->Read();
+    for (uint32_t i : order) {
+      if (!adapter.InsertRecord(i)) ++result.failed_ops;
+    }
+    if (counters != nullptr) obs->load_sample = counters->Read() - start;
   }
   auto t1 = Clock::now();
   result.load_ops = load_n;
@@ -169,11 +209,31 @@ RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
   if (batch > 1) pending.reserve(batch);
   auto flush_reads = [&] {
     if (pending.empty()) return;
-    size_t hits = adapter.MultiLookup(pending.data(), pending.size());
-    result.failed_ops += pending.size() - hits;
+    size_t n = pending.size();
+    uint64_t start = timed ? obs::ReadTicks() : 0;
+    size_t hits = adapter.MultiLookup(pending.data(), n);
+    // One flush covers n reads: attribute an equal share to each so the
+    // histogram stays per-operation regardless of the batch width.
+    if (timed) obs->read.RecordN((obs::ReadTicks() - start) / n, n);
+    result.failed_ops += n - hits;
     pending.clear();
   };
+  // Times `body()` into `hist` only when observation is on; `timed` is
+  // loop-invariant so the untimed path stays branch-predictable and free of
+  // ReadTicks calls.
+  auto timed_op = [&](obs::LatencyHistogram RunObservers::* hist,
+                      auto&& body) {
+    if (!timed) {
+      body();
+      return;
+    }
+    uint64_t start = obs::ReadTicks();
+    body();
+    (obs->*hist).Record(obs::ReadTicks() - start);
+  };
 
+  obs::CounterSample txn_start;
+  if (counters != nullptr) txn_start = counters->Read();
   auto t2 = Clock::now();
   for (size_t op = 0; op < txn_ops; ++op) {
     double p = rng.NextDouble();
@@ -183,37 +243,48 @@ RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
         if (pending.size() >= batch) flush_reads();
         continue;
       }
-      if (!adapter.LookupRecord(pick_record())) ++result.failed_ops;
+      timed_op(&RunObservers::read, [&] {
+        if (!adapter.LookupRecord(pick_record())) ++result.failed_ops;
+      });
     } else if (p < spec.read + spec.update) {
       flush_reads();
-      if (!adapter.UpdateRecord(pick_record(), op)) ++result.failed_ops;
+      timed_op(&RunObservers::update, [&] {
+        if (!adapter.UpdateRecord(pick_record(), op)) ++result.failed_ops;
+      });
     } else if (p < spec.read + spec.update + spec.rmw) {
       flush_reads();
-      size_t r = pick_record();
-      if (!adapter.LookupRecord(r)) ++result.failed_ops;
-      adapter.UpdateRecord(r, op);
+      timed_op(&RunObservers::rmw, [&] {
+        size_t r = pick_record();
+        if (!adapter.LookupRecord(r)) ++result.failed_ops;
+        adapter.UpdateRecord(r, op);
+      });
     } else if (p < spec.read + spec.update + spec.rmw + spec.scan) {
       flush_reads();
-      size_t len = 1 + rng.NextBounded(spec.max_scan_len);
-      adapter.ScanRecord(pick_record(), len);
+      timed_op(&RunObservers::scan, [&] {
+        size_t len = 1 + rng.NextBounded(spec.max_scan_len);
+        adapter.ScanRecord(pick_record(), len);
+      });
     } else {
       // insert
       flush_reads();
       if (next_insert < capacity) {
-        if (!adapter.InsertRecord(static_cast<uint32_t>(next_insert))) {
-          ++result.failed_ops;
-        }
+        timed_op(&RunObservers::insert, [&] {
+          if (!adapter.InsertRecord(static_cast<uint32_t>(next_insert))) {
+            ++result.failed_ops;
+          }
+        });
         ++next_insert;
         ++inserted;
       } else {
         // Ran out of pre-generated records: fall back to a read so the
         // op count stays comparable.
-        adapter.LookupRecord(pick_record());
+        timed_op(&RunObservers::read, [&] { adapter.LookupRecord(pick_record()); });
       }
     }
   }
   flush_reads();
   auto t3 = Clock::now();
+  if (counters != nullptr) obs->txn_sample = counters->Read() - txn_start;
   result.txn_ops = txn_ops;
   result.txn_seconds = std::chrono::duration<double>(t3 - t2).count();
   return result;

@@ -1,0 +1,184 @@
+// obs/perf_counters: tick source monotonicity and calibration, CounterRegion
+// nesting (inner deltas bounded by the enclosing region's), group-read
+// consistency, and the forced rdtsc fallback via HOT_NO_PERF=1 — the mode CI
+// containers exercise implicitly because they deny perf_event_open.  Every
+// assertion here must hold whether or not the hardware path opened.
+
+#include "obs/perf_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace hot {
+namespace {
+
+using obs::CounterRegion;
+using obs::CounterSample;
+using obs::PerfCounterGroup;
+
+// Something the optimizer cannot delete, so regions measure real work.
+uint64_t Burn(uint64_t iters) {
+  volatile uint64_t acc = 1;
+  for (uint64_t i = 0; i < iters; ++i) acc = acc * 6364136223846793005ULL + i;
+  return acc;
+}
+
+TEST(Ticks, MonotonicAndCalibrated) {
+  uint64_t a = obs::ReadTicks();
+  Burn(100000);
+  uint64_t b = obs::ReadTicks();
+  EXPECT_GT(b, a);
+
+  double tps = obs::TicksPerSecond();
+  // rdtsc on any plausible machine: 100 MHz .. 10 GHz.  The steady_clock
+  // fallback ticks at exactly 1e9.
+  EXPECT_GT(tps, 1e8);
+  EXPECT_LT(tps, 1e11);
+
+  EXPECT_DOUBLE_EQ(obs::TicksToNanos(0), 0.0);
+  double ns = obs::TicksToNanos(b - a);
+  EXPECT_GT(ns, 0.0);
+  // 100k dependent multiplies take well under a second.
+  EXPECT_LT(ns, 1e9);
+}
+
+TEST(PerfCounters, ReadIsMonotonicOnOwningThread) {
+  PerfCounterGroup group;
+  CounterSample prev = group.Read();
+  for (int i = 0; i < 10; ++i) {
+    Burn(10000);
+    CounterSample cur = group.Read();
+    EXPECT_GT(cur.ticks, prev.ticks);
+    if (group.hw_available()) {
+      EXPECT_TRUE(cur.hw_valid);
+      // Counters only move forward; instructions must grow by at least the
+      // loop body's worth of work.
+      EXPECT_GE(cur.cycles, prev.cycles);
+      EXPECT_GT(cur.instructions, prev.instructions);
+      EXPECT_GE(cur.llc_misses, prev.llc_misses);
+      EXPECT_GE(cur.branch_misses, prev.branch_misses);
+      EXPECT_GE(cur.dtlb_misses, prev.dtlb_misses);
+    } else {
+      EXPECT_FALSE(cur.hw_valid);
+      EXPECT_NE(group.fallback_reason()[0], '\0');
+    }
+    prev = cur;
+  }
+}
+
+TEST(PerfCounters, RegionNestingIsBounded) {
+  PerfCounterGroup group;
+  CounterSample outer, inner;
+  {
+    CounterRegion outer_region(&group, &outer);
+    Burn(20000);
+    {
+      CounterRegion inner_region(&group, &inner);
+      Burn(20000);
+    }
+    Burn(20000);
+  }
+  EXPECT_GT(outer.ticks, 0u);
+  EXPECT_GT(inner.ticks, 0u);
+  // The inner region is a strict sub-window of the outer one: every delta it
+  // observed is also part of the outer delta.
+  EXPECT_GT(outer.ticks, inner.ticks);
+  EXPECT_EQ(outer.hw_valid, group.hw_available());
+  if (group.hw_available()) {
+    EXPECT_GT(outer.cycles, inner.cycles);
+    EXPECT_GT(outer.instructions, inner.instructions);
+    EXPECT_GE(outer.llc_misses, inner.llc_misses);
+    EXPECT_GE(outer.branch_misses, inner.branch_misses);
+    EXPECT_GE(outer.dtlb_misses, inner.dtlb_misses);
+  }
+}
+
+TEST(PerfCounters, StopReturnsSameDeltaAsOutParam) {
+  PerfCounterGroup group;
+  CounterSample via_out;
+  CounterRegion region(&group, &via_out);
+  Burn(5000);
+  CounterSample via_stop = region.Stop();
+  EXPECT_EQ(via_stop.ticks, via_out.ticks);
+  EXPECT_EQ(via_stop.cycles, via_out.cycles);
+  EXPECT_EQ(via_stop.instructions, via_out.instructions);
+  EXPECT_EQ(via_stop.hw_valid, via_out.hw_valid);
+}
+
+TEST(PerfCounters, GroupReadIsConsistent) {
+  // The whole point of PERF_FORMAT_GROUP: sibling counters cover the same
+  // window as the leader.  IPC over a busy loop must come out in a sane
+  // band — wildly inconsistent windows would push it to extremes.
+  PerfCounterGroup group;
+  if (!group.hw_available()) {
+    GTEST_SKIP() << "hardware counters unavailable: "
+                 << group.fallback_reason();
+  }
+  CounterSample d;
+  {
+    CounterRegion region(&group, &d);
+    Burn(2000000);
+  }
+  ASSERT_TRUE(d.hw_valid);
+  ASSERT_GT(d.cycles, 0u);
+  double ipc = static_cast<double>(d.instructions) /
+               static_cast<double>(d.cycles);
+  EXPECT_GT(ipc, 0.05);
+  EXPECT_LT(ipc, 16.0);
+}
+
+// Forced fallback: with HOT_NO_PERF=1 a fresh group must take the rdtsc
+// path even on machines where perf_event_open works.  This is the exact
+// configuration the CI observability job runs the benches under.
+TEST(PerfCounters, EnvVarForcesFallback) {
+  ASSERT_EQ(setenv("HOT_NO_PERF", "1", 1), 0);
+  EXPECT_TRUE(PerfCounterGroup::DisabledByEnv());
+  {
+    PerfCounterGroup group;
+    EXPECT_FALSE(group.hw_available());
+    EXPECT_STRNE(group.fallback_reason(), "");
+
+    // The fallback still measures time.
+    CounterSample d;
+    {
+      CounterRegion region(&group, &d);
+      Burn(10000);
+    }
+    EXPECT_FALSE(d.hw_valid);
+    EXPECT_GT(d.ticks, 0u);
+    EXPECT_EQ(d.cycles, 0u);
+    EXPECT_EQ(d.instructions, 0u);
+  }
+
+  // "0" and unset both re-enable the hardware path.
+  ASSERT_EQ(setenv("HOT_NO_PERF", "0", 1), 0);
+  EXPECT_FALSE(PerfCounterGroup::DisabledByEnv());
+  ASSERT_EQ(unsetenv("HOT_NO_PERF"), 0);
+  EXPECT_FALSE(PerfCounterGroup::DisabledByEnv());
+}
+
+TEST(PerfCounters, SampleSubtraction) {
+  CounterSample a, b;
+  a.ticks = 100;
+  a.cycles = 200;
+  a.instructions = 300;
+  a.hw_valid = true;
+  b.ticks = 150;
+  b.cycles = 260;
+  b.instructions = 390;
+  b.hw_valid = true;
+  CounterSample d = b - a;
+  EXPECT_EQ(d.ticks, 50u);
+  EXPECT_EQ(d.cycles, 60u);
+  EXPECT_EQ(d.instructions, 90u);
+  EXPECT_TRUE(d.hw_valid);
+
+  b.hw_valid = false;  // either endpoint invalid poisons the delta
+  EXPECT_FALSE((b - a).hw_valid);
+}
+
+}  // namespace
+}  // namespace hot

@@ -1,0 +1,164 @@
+// ycsb/sharded.h: per-shard forwarding of the full point-op surface
+// (insert / lookup / remove / upsert / size), thread-safety of the shard
+// locks under concurrent writers, and the compile-time poisoning of range
+// scans (hash sharding destroys key order, so ScanFrom must not exist).
+
+#include "ycsb/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/rng.h"
+#include "hot/rowex.h"
+#include "hot/trie.h"
+
+namespace hot {
+namespace {
+
+using ycsb::ShardedIndex;
+
+using ShardedU64 = ShardedIndex<HotTrie<U64KeyExtractor>>;
+
+// --- compile-time: scans must not exist on the sharded wrapper -------------
+
+struct SinkFn {
+  void operator()(uint64_t) const {}
+};
+
+template <typename Index>
+concept SupportsScan = requires(const Index& idx, KeyRef k, SinkFn fn) {
+  idx.ScanFrom(k, size_t{1}, fn);
+};
+
+static_assert(SupportsScan<HotTrie<U64KeyExtractor>>,
+              "the underlying trie does support scans");
+static_assert(SupportsScan<RowexHotTrie<U64KeyExtractor>>);
+static_assert(!SupportsScan<ShardedU64>,
+              "ShardedIndex must reject ScanFrom at compile time: hash "
+              "sharding destroys key order");
+static_assert(!SupportsScan<ShardedIndex<RowexHotTrie<U64KeyExtractor>>>);
+
+// --- point-op forwarding ---------------------------------------------------
+
+TEST(Sharded, DifferentialAgainstOracle) {
+  ShardedU64 idx;
+  std::set<uint64_t> oracle;
+  SplitMix64 rng(31);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = rng.NextBounded(12000);
+    U64Key k(v);  // named: KeyRef views the key object's bytes
+    KeyRef key = k.ref();
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:
+        ASSERT_EQ(idx.Insert(v, key), oracle.insert(v).second);
+        break;
+      case 2: {
+        auto got = idx.Lookup(key);
+        ASSERT_EQ(got.has_value(), oracle.count(v) > 0);
+        if (got) {
+          ASSERT_EQ(*got, v);
+        }
+        break;
+      }
+      case 3:
+        ASSERT_EQ(idx.Remove(key), oracle.erase(v) > 0);
+        break;
+    }
+    if (i % 1000 == 0) {
+      ASSERT_EQ(idx.size(), oracle.size());
+    }
+  }
+  ASSERT_EQ(idx.size(), oracle.size());
+}
+
+TEST(Sharded, UpsertReplacesAcrossShards) {
+  // Tid table where tid i and tid i+N hold the same string key, so the
+  // second upsert must return the first tid as the replaced value — and
+  // must land on the same shard, since sharding hashes the key bytes.
+  constexpr uint64_t kN = 2000;
+  std::vector<std::string> table;
+  for (uint64_t i = 0; i < 2 * kN; ++i) {
+    table.push_back("key-" + std::to_string(i % kN));
+  }
+  StringTableExtractor extractor(&table);
+  ShardedIndex<HotTrie<StringTableExtractor>> idx(extractor);
+
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(idx.Upsert(i, TerminatedView(table[i])), std::nullopt);
+  }
+  EXPECT_EQ(idx.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    auto old = idx.Upsert(kN + i, TerminatedView(table[i]));
+    ASSERT_TRUE(old.has_value());
+    EXPECT_EQ(*old, i);
+  }
+  EXPECT_EQ(idx.size(), kN);  // replaced, not duplicated
+  for (uint64_t i = 0; i < kN; ++i) {
+    auto got = idx.Lookup(TerminatedView(table[i]));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, kN + i);
+  }
+}
+
+// --- concurrency ------------------------------------------------------------
+
+TEST(Sharded, ConcurrentWritersDontLoseOperations) {
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  ShardedU64 idx;
+
+  // Phase 1: disjoint inserts from all threads.
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&idx, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t v = t * kPerThread + i;
+        ASSERT_TRUE(idx.Insert(v, U64Key(v).ref()));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  threads.clear();
+  ASSERT_EQ(idx.size(), kThreads * kPerThread);
+
+  // Phase 2: racing readers, removers of the odd half, and upserters.
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&idx, t] {
+      SplitMix64 rng(99 + t);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t v = rng.NextBounded(kThreads * kPerThread);
+        switch (t % 3) {
+          case 0:
+            idx.Lookup(U64Key(v).ref());
+            break;
+          case 1:
+            if (v % 2 == 1) idx.Remove(U64Key(v).ref());
+            break;
+          case 2:
+            if (v % 2 == 0) idx.Upsert(v, U64Key(v).ref());
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every even key survived (only odd keys were removed; upserts of even
+  // keys are idempotent here).
+  for (uint64_t v = 0; v < kThreads * kPerThread; v += 2) {
+    auto got = idx.Lookup(U64Key(v).ref());
+    ASSERT_TRUE(got.has_value()) << v;
+    ASSERT_EQ(*got, v);
+  }
+}
+
+}  // namespace
+}  // namespace hot
