@@ -1,0 +1,208 @@
+// Shard-count ablation for the range-partitioned wrapper
+// (ycsb/range_sharded.h): sweeps the shard count over {1, 2, 4, 8, 16, 32,
+// 64} with HOT as the per-shard index and measures multi-threaded insert,
+// lookup, and workload-E scan throughput plus the shard-size imbalance the
+// sampled splitters produce.
+//
+// What the sweep shows: 1 shard serializes every writer behind a single
+// lock (the degenerate case — a plain global-lock index); more shards cut
+// lock contention roughly linearly until either the thread count or the
+// splitter-sampling error dominates.  The imbalance column (max shard size
+// over ideal) is the cost signal: equi-depth sampling keeps it near 1 for
+// uniform integers but degrades with very many shards on skewed string
+// sets, and an overloaded shard re-serializes the writers that hash
+// sharding would have spread out.  Scans pay a small fixed spillover cost
+// per shard boundary crossed, so scan throughput favors fewer shards at a
+// fixed scan length.
+//
+// Usage: ablation_shards [--keys=N] [--ops=N] [--threads=N] [--seed=N]
+//
+// Emits BENCH_ablation_shards.json with one row per (dataset, shards).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "common/extractors.h"
+#include "common/locks.h"
+#include "common/rng.h"
+#include "hot/trie.h"
+#include "ycsb/datasets.h"
+#include "ycsb/range_sharded.h"
+#include "ycsb/report.h"
+#include "ycsb/workload.h"
+
+using namespace hot;
+using namespace hot::ycsb;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kShardCounts[] = {1, 2, 4, 8, 16, 32, 64};
+
+std::atomic<uint64_t> benchmark_sink{0};
+
+struct SweepResult {
+  double insert_mops;
+  double lookup_mops;
+  double scan_mops;  // workload-E mix operations per second
+  double imbalance;  // max shard size / ideal (size / shards)
+  uint64_t empty_shards;
+};
+
+// One barrier-synchronized parallel phase; returns elapsed seconds.
+template <typename Body>
+double RunParallel(unsigned threads, Body&& body) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ++ready;
+      while (!go) CpuRelax();
+      body(t);
+    });
+  }
+  while (ready != threads) CpuRelax();
+  auto t0 = Clock::now();
+  go = true;
+  for (auto& w : workers) w.join();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// `value_of(i)` maps record id -> stored tid payload; `with_key(i, fn)`
+// materializes record i's key and invokes fn(KeyRef) before the backing
+// storage (a U64Key on the stack for integers) goes away.
+template <typename MakeIndex, typename ValueOf, typename WithKey>
+SweepResult RunSweep(const DataSet& ds, unsigned shards, unsigned threads,
+                     size_t lookups, size_t scan_ops, MakeIndex make_index,
+                     ValueOf&& value_of, WithKey&& with_key) {
+  auto idx = make_index(shards);
+  const size_t n = ds.size();
+  const size_t load_n = n - n / 16;  // tail reserved for workload-E inserts
+
+  double insert_s = RunParallel(threads, [&](unsigned t) {
+    size_t lo = load_n * t / threads, hi = load_n * (t + 1) / threads;
+    for (size_t i = lo; i < hi; ++i) idx.Insert(value_of(i));
+  });
+  double lookup_s = RunParallel(threads, [&](unsigned t) {
+    SplitMix64 rng(31 + t);
+    for (size_t i = 0; i < lookups / threads; ++i) {
+      with_key(rng.NextBounded(load_n),
+               [&](KeyRef key) { idx.Lookup(key); });
+    }
+  });
+  double scan_s = RunParallel(threads, [&](unsigned t) {
+    SplitMix64 rng(67 + t);
+    size_t fresh = n - load_n;
+    size_t next = load_n + fresh * t / threads;
+    size_t end = load_n + fresh * (t + 1) / threads;
+    uint64_t sink = 0;
+    for (size_t i = 0; i < scan_ops / threads; ++i) {
+      if (rng.NextBounded(100) < 5 && next < end) {
+        idx.Insert(value_of(next++));
+      } else {
+        size_t len = 1 + rng.NextBounded(100);
+        with_key(rng.NextBounded(load_n), [&](KeyRef key) {
+          idx.ScanFrom(key, len, [&](uint64_t v) { sink += v; });
+        });
+      }
+    }
+    benchmark_sink.fetch_add(sink, std::memory_order_relaxed);
+  });
+
+  size_t max_shard = 0;
+  uint64_t empty = 0;
+  for (unsigned s = 0; s < idx.shard_count(); ++s) {
+    size_t sz = idx.shard_size(s);
+    max_shard = std::max(max_shard, sz);
+    if (sz == 0) ++empty;
+  }
+  double ideal = static_cast<double>(idx.size()) / idx.shard_count();
+  return {static_cast<double>(load_n) / insert_s / 1e6,
+          static_cast<double>(lookups) / lookup_s / 1e6,
+          static_cast<double>(scan_ops) / scan_s / 1e6,
+          ideal > 0 ? static_cast<double>(max_shard) / ideal : 1.0, empty};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseBenchConfig(argc, argv);
+  unsigned threads = cfg.threads != 0
+                         ? cfg.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  const size_t scan_ops = std::max<size_t>(cfg.ops / 16, 1000);
+  printf("ablation_shards: range-sharded HOT, shard count sweep "
+         "(%zu keys, %zu lookups, %zu workload-E ops, %u threads)\n\n",
+         cfg.keys, cfg.ops, scan_ops, threads);
+
+  bench::BenchJson json("ablation_shards");
+  json.meta()
+      .Add("keys", cfg.keys)
+      .Add("ops", cfg.ops)
+      .Add("scan_ops", scan_ops)
+      .Add("threads", threads)
+      .Add("seed", cfg.seed);
+
+  Table table({"dataset", "shards", "insert-mops", "lookup-mops", "scanE-mops",
+               "imbalance", "empty"});
+  table.PrintHeader();
+
+  auto emit = [&](const char* dataset, unsigned shards, const SweepResult& r) {
+    table.PrintRow({dataset, std::to_string(shards), Fmt(r.insert_mops),
+                    Fmt(r.lookup_mops), Fmt(r.scan_mops), Fmt(r.imbalance),
+                    std::to_string(r.empty_shards)});
+    bench::JsonObject j;
+    j.Add("dataset", dataset)
+        .Add("shards", shards)
+        .Add("insert_mops", r.insert_mops)
+        .Add("lookup_mops", r.lookup_mops)
+        .Add("scan_mops", r.scan_mops)
+        .Add("imbalance", r.imbalance)
+        .Add("empty_shards", r.empty_shards);
+    json.AddResult(j);
+  };
+
+  {
+    DataSet ds = GenerateDataSet(DataSetKind::kInteger, cfg.keys, cfg.seed);
+    for (unsigned shards : kShardCounts) {
+      SweepResult r = RunSweep(
+          ds, shards, threads, cfg.ops, scan_ops,
+          [&](unsigned s) {
+            return RangeShardedIndex<HotTrie<U64KeyExtractor>,
+                                     U64KeyExtractor>(SampledSplitters(ds, s),
+                                                      U64KeyExtractor());
+          },
+          [&](size_t i) { return ds.ints[i]; },
+          [&](size_t i, auto&& fn) {
+            U64Key key(ds.ints[i]);
+            fn(key.ref());
+          });
+      emit("integer", shards, r);
+    }
+  }
+  {
+    DataSet ds = GenerateDataSet(DataSetKind::kUrl, cfg.keys, cfg.seed);
+    StringTableExtractor ex(&ds.strings);
+    for (unsigned shards : kShardCounts) {
+      SweepResult r = RunSweep(
+          ds, shards, threads, cfg.ops, scan_ops,
+          [&](unsigned s) {
+            return RangeShardedIndex<HotTrie<StringTableExtractor>,
+                                     StringTableExtractor>(
+                SampledSplitters(ds, s), ex);
+          },
+          [&](size_t i) { return static_cast<uint64_t>(i); },
+          [&](size_t i, auto&& fn) { fn(TerminatedView(ds.strings[i])); });
+      emit("url", shards, r);
+    }
+  }
+  json.WriteFile();
+  return 0;
+}

@@ -58,6 +58,11 @@ class RowexHotTrie {
   };
 
  public:
+  // ROWEX synchronizes internally (wait-free readers, per-node writer
+  // locks): wrappers that would otherwise add their own lock — the sharded
+  // ones in ycsb/ — detect this flag and forward lock-free.
+  static constexpr bool kInternallySynchronized = true;
+
   explicit RowexHotTrie(KeyExtractor extractor = KeyExtractor(),
                         MemoryCounter* counter = nullptr)
       : extractor_(extractor), alloc_(counter), root_(HotEntry::kEmpty) {}

@@ -1,0 +1,367 @@
+// Range-partitioned concurrency wrapper that PRESERVES GLOBAL KEY ORDER —
+// the ordered-workload counterpart of the hash-sharded wrapper
+// (ycsb/sharded.h, point operations only).
+//
+// The key space is partitioned by kShards-1 splitter keys into contiguous
+// byte ranges; shard s owns keys in [splitter[s-1], splitter[s]) under
+// lexicographic (big-endian) byte comparison, so the concatenation of the
+// shards' ordered contents in shard order IS the globally ordered key
+// sequence.  That is what makes a real ScanFrom possible: scan the owning
+// shard from `start`, then spill into successor shards (each scanned from
+// its lowest key) until `limit` results are produced — no k-way merge
+// needed, because the partitioning is order-preserving (the trie-of-trees
+// idea of Masstree, and the range-retaining hybrid of Blink-hash).
+//
+// Synchronization is per shard: a RowexLockWord guards every operation on
+// single-threaded indexes; indexes that declare themselves internally
+// synchronized (RowexHotTrie::kInternallySynchronized) are forwarded to
+// lock-free, so "range-sharded ROWEX" composes sharding for write
+// scalability with wait-free readers inside each shard.
+//
+// Splitters come from three sources:
+//   * explicit SplitterKeys (tests: put boundaries exactly where the edge
+//     cases are),
+//   * UniformByteSplitters(n) — n equal first-byte ranges; the default, and
+//     the right choice for uniformly distributed binary keys,
+//   * SampledSplitters(dataset, n) — equi-depth boundaries from a sorted
+//     key sample; use for skewed key spaces (URLs share "http…" prefixes,
+//     which would otherwise collapse every key into one shard).
+//
+// Routing is a binary search over the splitter list on the raw key bytes.
+// A key's shard never changes (splitters are fixed after Reshard), so
+// per-key operation atomicity reduces to the shard's own synchronization.
+
+#ifndef HOT_YCSB_RANGE_SHARDED_H_
+#define HOT_YCSB_RANGE_SHARDED_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/key.h"
+#include "common/locks.h"
+#include "ycsb/datasets.h"
+
+namespace hot {
+namespace ycsb {
+
+// Owned splitter keys, sorted strictly ascending.  k splitters define k+1
+// shards; shard 0 owns everything below splitters[0].
+using SplitterKeys = std::vector<std::vector<uint8_t>>;
+
+namespace detail {
+
+// Indexes that synchronize internally (ROWEX) opt out of the wrapper's
+// per-shard lock by declaring `static constexpr bool kInternallySynchronized
+// = true`.
+template <typename T>
+concept SelfSynchronized = requires {
+  requires bool(T::kInternallySynchronized);
+};
+
+template <typename T>
+concept ShardHasUpsert = requires(T& t, uint64_t v) {
+  { t.Upsert(v) } -> std::same_as<std::optional<uint64_t>>;
+};
+
+template <typename T>
+concept ShardHasLookupBatch =
+    requires(const T& t, std::span<const KeyRef> keys,
+             std::span<std::optional<uint64_t>> out) {
+      t.LookupBatch(keys, out);
+    };
+
+}  // namespace detail
+
+// `shards` equal first-byte ranges: splitters at byte ceil(256*s/shards).
+// Balanced for uniformly distributed binary keys (the integer data sets);
+// skewed key spaces should use SampledSplitters instead.
+inline SplitterKeys UniformByteSplitters(unsigned shards) {
+  SplitterKeys out;
+  for (unsigned s = 1; s < shards; ++s) {
+    out.push_back({static_cast<uint8_t>((256u * s) / shards)});
+  }
+  return out;
+}
+
+// Equi-depth boundaries: sorts the sample and takes `shards`-1 evenly
+// spaced keys (duplicates collapse, so fewer shards may result).
+inline SplitterKeys SplittersFromSamples(
+    std::vector<std::vector<uint8_t>> samples, unsigned shards) {
+  std::sort(samples.begin(), samples.end());
+  samples.erase(std::unique(samples.begin(), samples.end()), samples.end());
+  SplitterKeys out;
+  if (shards < 2 || samples.empty()) return out;
+  for (unsigned s = 1; s < shards; ++s) {
+    size_t i = samples.size() * s / shards;
+    if (i >= samples.size()) break;
+    if (!out.empty() && out.back() == samples[i]) continue;
+    out.push_back(samples[i]);
+  }
+  return out;
+}
+
+// Equi-depth splitters for a generated data set: sample up to `max_sample`
+// keys (terminated string bytes / big-endian integer bytes, matching what
+// the index adapters feed the tries), sort, and take `shards`-1 boundaries.
+inline SplitterKeys SampledSplitters(const DataSet& ds, unsigned shards,
+                                     size_t max_sample = 4096) {
+  std::vector<std::vector<uint8_t>> samples;
+  size_t n = ds.size();
+  if (n == 0 || shards < 2) return {};
+  size_t stride = n > max_sample ? n / max_sample : 1;
+  for (size_t i = 0; i < n; i += stride) {
+    if (ds.IsString()) {
+      const std::string& s = ds.strings[i];
+      std::vector<uint8_t> bytes(s.begin(), s.end());
+      bytes.push_back(0);  // the 0x00 terminator TerminatedView appends
+      samples.push_back(std::move(bytes));
+    } else {
+      std::vector<uint8_t> bytes(8);
+      EncodeU64(ds.ints[i], bytes.data());
+      samples.push_back(std::move(bytes));
+    }
+  }
+  return SplittersFromSamples(std::move(samples), shards);
+}
+
+template <typename Index, typename KeyExtractor>
+class RangeShardedIndex {
+ public:
+  using ShardType = Index;
+  static constexpr unsigned kDefaultShards = 16;
+  static constexpr bool kSelfSynchronized = detail::SelfSynchronized<Index>;
+
+  template <typename... Args>
+  explicit RangeShardedIndex(KeyExtractor extractor = KeyExtractor(),
+                             Args&&... shard_args)
+      : RangeShardedIndex(UniformByteSplitters(kDefaultShards), extractor,
+                          std::forward<Args>(shard_args)...) {}
+
+  template <typename... Args>
+  RangeShardedIndex(SplitterKeys splitters, KeyExtractor extractor,
+                    Args&&... shard_args)
+      : extractor_(extractor),
+        factory_([extractor, shard_args...]() {
+          return std::make_unique<Index>(extractor, shard_args...);
+        }) {
+    InstallSplitters(std::move(splitters));
+  }
+
+  // Replaces the partitioning (e.g. with boundaries sampled from the data
+  // set about to be loaded).  Only legal while the index is empty: keys
+  // must never straddle a moved boundary.
+  void Reshard(SplitterKeys splitters) {
+    if (size() != 0) {
+      throw std::logic_error(
+          "RangeShardedIndex::Reshard requires an empty index");
+    }
+    InstallSplitters(std::move(splitters));
+  }
+
+  // --- point operations ------------------------------------------------------
+
+  // Inserts `value` under its extracted key.  The keyed overload saves the
+  // extraction when the caller already has the key bytes; `key` must equal
+  // the extracted key of `value`.
+  bool Insert(uint64_t value) {
+    KeyScratch scratch;
+    return Insert(value, extractor_(value, scratch));
+  }
+  bool Insert(uint64_t value, KeyRef key) {
+    return WithShard(ShardOf(key),
+                     [&](Index& idx) { return idx.Insert(value); });
+  }
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    return WithShard(ShardOf(key),
+                     [&](const Index& idx) { return idx.Lookup(key); });
+  }
+
+  bool Remove(KeyRef key) {
+    return WithShard(ShardOf(key),
+                     [&](Index& idx) { return idx.Remove(key); });
+  }
+
+  // Insert-or-overwrite; returns the replaced value if the key was present.
+  // On shard types without a native Upsert the fallback is insert-if-absent,
+  // which is equivalent whenever the stored value is determined by its key
+  // (true for every data set and trace keyspace in this repository).
+  std::optional<uint64_t> Upsert(uint64_t value) {
+    KeyScratch scratch;
+    return Upsert(value, extractor_(value, scratch));
+  }
+  std::optional<uint64_t> Upsert(uint64_t value, KeyRef key) {
+    return WithShard(ShardOf(key), [&](Index& idx) -> std::optional<uint64_t> {
+      if constexpr (detail::ShardHasUpsert<Index>) {
+        return idx.Upsert(value);
+      } else {
+        return idx.Insert(value) ? std::nullopt
+                                 : std::optional<uint64_t>(value);
+      }
+    });
+  }
+
+  // Batched point lookups, forwarded per shard to the underlying
+  // memory-level-parallel descent (hot/batch_lookup.h): keys are bucketed
+  // by owning shard, each bucket runs one LookupBatch, results scatter back
+  // to their input positions.
+  void LookupBatch(std::span<const KeyRef> keys,
+                   std::span<std::optional<uint64_t>> out) const
+    requires detail::ShardHasLookupBatch<Index>
+  {
+    assert(out.size() >= keys.size());
+    std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      by_shard[ShardOf(keys[i])].push_back(static_cast<uint32_t>(i));
+    }
+    std::vector<KeyRef> bucket;
+    std::vector<std::optional<uint64_t>> results;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+      if (by_shard[s].empty()) continue;
+      bucket.clear();
+      for (uint32_t i : by_shard[s]) bucket.push_back(keys[i]);
+      results.assign(bucket.size(), std::nullopt);
+      WithShard(s, [&](const Index& idx) {
+        idx.LookupBatch(std::span<const KeyRef>(bucket),
+                        std::span<std::optional<uint64_t>>(results));
+      });
+      for (size_t j = 0; j < by_shard[s].size(); ++j) {
+        out[by_shard[s][j]] = results[j];
+      }
+    }
+  }
+
+  // --- ordered scans ---------------------------------------------------------
+
+  // Visits up to `limit` values with key >= `start` in GLOBAL key order;
+  // returns the number visited.  Starts in the shard owning `start` and
+  // spills into successor shards — each scanned from its lowest key, which
+  // is by construction above everything already produced — until the limit
+  // is reached or the key space is exhausted.  Empty shards in between cost
+  // one scan call each and yield nothing.  Each shard is scanned under its
+  // own synchronization; concurrent writers may interleave between shards
+  // (same per-operation consistency as the underlying index, not a global
+  // snapshot).
+  template <typename Fn>
+  size_t ScanFrom(KeyRef start, size_t limit, Fn&& fn) const {
+    size_t produced = 0;
+    const unsigned first = ShardOf(start);
+    for (unsigned s = first; s < shards_.size() && produced < limit; ++s) {
+      KeyRef from = s == first ? start : KeyRef();
+      produced += WithShard(s, [&](const Index& idx) {
+        return idx.ScanFrom(from, limit - produced, fn);
+      });
+    }
+    return produced;
+  }
+
+  // --- introspection ---------------------------------------------------------
+
+  size_t size() const {
+    size_t n = 0;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+      n += WithShard(s, [](const Index& idx) { return idx.size(); });
+    }
+    return n;
+  }
+  bool empty() const { return size() == 0; }
+
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  size_t shard_size(unsigned s) const {
+    return WithShard(s, [](const Index& idx) { return idx.size(); });
+  }
+  const SplitterKeys& splitters() const { return splitters_; }
+
+  // Shard the key routes to: the number of splitters <= key (binary
+  // search over the raw big-endian key bytes).
+  unsigned ShardOf(KeyRef key) const {
+    unsigned lo = 0, hi = static_cast<unsigned>(splitters_.size());
+    while (lo < hi) {
+      unsigned mid = lo + (hi - lo) / 2;
+      KeyRef splitter(splitters_[mid].data(), splitters_[mid].size());
+      if (splitter.Compare(key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Visits every shard index in shard (= key) order.  Quiescent-only when
+  // the visitor walks tree structure (obs/telemetry.h census fold,
+  // testing/differ.h per-shard audits).
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) const {
+    for (const auto& shard : shards_) fn(*shard);
+  }
+
+  const KeyExtractor& extractor() const { return extractor_; }
+
+ private:
+  struct LockGuard {
+    explicit LockGuard(RowexLockWord* lock) : lock_(lock) { lock_->Lock(); }
+    ~LockGuard() { lock_->Unlock(); }
+    RowexLockWord* lock_;
+  };
+
+  template <typename Fn>
+  decltype(auto) WithShard(unsigned s, Fn&& fn) const {
+    assert(s < shards_.size());
+    if constexpr (kSelfSynchronized) {
+      return fn(const_cast<const Index&>(*shards_[s]));
+    } else {
+      LockGuard guard(&locks_[s]);
+      return fn(const_cast<const Index&>(*shards_[s]));
+    }
+  }
+  template <typename Fn>
+  decltype(auto) WithShard(unsigned s, Fn&& fn) {
+    assert(s < shards_.size());
+    if constexpr (kSelfSynchronized) {
+      return fn(*shards_[s]);
+    } else {
+      LockGuard guard(&locks_[s]);
+      return fn(*shards_[s]);
+    }
+  }
+
+  void InstallSplitters(SplitterKeys splitters) {
+    for (size_t i = 0; i + 1 < splitters.size(); ++i) {
+      KeyRef a(splitters[i].data(), splitters[i].size());
+      KeyRef b(splitters[i + 1].data(), splitters[i + 1].size());
+      if (a.Compare(b) >= 0) {
+        throw std::invalid_argument(
+            "RangeShardedIndex: splitters must be strictly ascending");
+      }
+    }
+    splitters_ = std::move(splitters);
+    shards_.clear();
+    for (size_t s = 0; s < splitters_.size() + 1; ++s) {
+      shards_.push_back(factory_());
+    }
+    locks_ = std::make_unique<RowexLockWord[]>(shards_.size());
+  }
+
+  KeyExtractor extractor_;
+  std::function<std::unique_ptr<Index>()> factory_;
+  SplitterKeys splitters_;
+  std::vector<std::unique_ptr<Index>> shards_;
+  mutable std::unique_ptr<RowexLockWord[]> locks_;
+};
+
+}  // namespace ycsb
+}  // namespace hot
+
+#endif  // HOT_YCSB_RANGE_SHARDED_H_

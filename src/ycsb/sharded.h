@@ -1,5 +1,6 @@
 // Hash-sharded concurrency wrapper used as the stand-in for the baselines'
-// synchronized variants in the scalability experiment (Fig. 10).
+// synchronized variants in the point-operation arms of the scalability
+// experiment (Fig. 10).
 //
 // The paper compares synchronized HOT against synchronized ART (ROWEX) and
 // Masstree (OCC).  This repository implements the paper's contribution —
@@ -8,8 +9,15 @@
 // single-threaded implementations, which provides correct concurrent point
 // operations with low contention (DESIGN.md "Substitutions": this machine
 // exposes one physical core, so none of the protocols can exhibit real
-// parallel speedup here anyway).  Range scans are not supported by this
-// wrapper (Fig. 10 measures inserts and lookups only).
+// parallel speedup here anyway).
+//
+// Hash sharding destroys key order, so ScanFrom is poisoned at compile
+// time below.  Ordered workloads (YCSB E, the Fig. 10 scan arm) go through
+// ycsb/range_sharded.h instead: the range-partitioned wrapper routes on
+// splitter keys, keeps global key order across shards, and implements a
+// real cross-shard spillover scan (DESIGN.md §10).  This wrapper remains
+// the cheaper choice when no scans are needed — uniform FNV-1a routing
+// needs no splitter tuning and balances any key distribution.
 
 #ifndef HOT_YCSB_SHARDED_H_
 #define HOT_YCSB_SHARDED_H_

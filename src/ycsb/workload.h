@@ -17,6 +17,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,35 @@ struct WorkloadSpec {
   Distribution dist = Distribution::kUniform;
   unsigned max_scan_len = 100;
 };
+
+// Validates a spec before a run: every mix probability in [0, 1], the mix
+// summing to 1 (within 1e-6 — the op-pick chain otherwise silently folds
+// the residual into the insert branch), and a usable scan length whenever
+// the mix scans.  Returns an empty string when valid, else a description
+// of the first problem.
+inline std::string ValidateWorkloadSpec(const WorkloadSpec& spec) {
+  auto bad = [](double p) { return !(p >= 0.0 && p <= 1.0); };  // NaN too
+  if (bad(spec.read) || bad(spec.update) || bad(spec.insert) ||
+      bad(spec.scan) || bad(spec.rmw)) {
+    return std::string("workload '") + spec.name +
+           "': every mix probability must be in [0, 1] (read=" +
+           std::to_string(spec.read) + " update=" +
+           std::to_string(spec.update) + " insert=" +
+           std::to_string(spec.insert) + " scan=" + std::to_string(spec.scan) +
+           " rmw=" + std::to_string(spec.rmw) + ")";
+  }
+  double sum = spec.read + spec.update + spec.insert + spec.scan + spec.rmw;
+  if (sum < 1.0 - 1e-6 || sum > 1.0 + 1e-6) {
+    return std::string("workload '") + spec.name +
+           "': mix probabilities sum to " + std::to_string(sum) +
+           ", expected 1.0 (read+update+insert+scan+rmw)";
+  }
+  if (spec.scan > 0.0 && spec.max_scan_len < 1) {
+    return std::string("workload '") + spec.name +
+           "': max_scan_len must be >= 1 when the mix scans";
+  }
+  return "";
+}
 
 // The six YCSB core workloads.  Workload D always uses the latest
 // distribution for its reads (per YCSB); A/B/C/E/F take the requested one.
@@ -162,6 +192,10 @@ RunResult RunBenchmark(Adapter& adapter, const DataSet& ds, size_t load_n,
                        uint64_t seed = 7, unsigned batch = 1,
                        RunObservers* obs = nullptr) {
   using Clock = std::chrono::steady_clock;
+  std::string spec_error = ValidateWorkloadSpec(spec);
+  if (!spec_error.empty()) {
+    throw std::invalid_argument("RunBenchmark: " + spec_error);
+  }
   RunResult result;
   const bool timed = obs != nullptr;
   obs::PerfCounterGroup* counters =

@@ -46,8 +46,11 @@ size_t SmokeOps() {
 
 // Splits the op budget over keyspace shapes that stress different layouts:
 // sparse integers, shared prefixes, engineered multi-mask discriminative
-// bits, and the paper's integer dataset.
-void RunSmoke(const char* index_name) {
+// bits, and the paper's integer dataset.  `scan_heavy` swaps the default op
+// mix for a YCSB-workload-E-shaped one (scans + lower_bounds dominate, the
+// rest mostly inserts) — on the range-sharded arms this is what drives
+// scans across splitter boundaries.
+void RunSmoke(const char* index_name, bool scan_heavy = false) {
   static const KeySpaceKind kKinds[] = {
       KeySpaceKind::kUniform, KeySpaceKind::kPrefix, KeySpaceKind::kAdvMulti8,
       KeySpaceKind::kInteger};
@@ -62,6 +65,14 @@ void RunSmoke(const char* index_name) {
     cfg.num_ops = per_kind;
     cfg.audit_every = 100000;
     cfg.zipf_pick = (k % 2) == 1;
+    if (scan_heavy) {
+      cfg.w_scan = 40;
+      cfg.w_lower_bound = 15;
+      cfg.w_insert = 25;
+      cfg.w_remove = 10;
+      cfg.w_lookup = 7;
+      cfg.w_upsert = 3;
+    }
     Trace t = GenerateTrace(cfg);
     DiffResult res = RunTraceOnIndex(index_name, t);
     ASSERT_TRUE(res.ok) << index_name << " on "
@@ -71,6 +82,7 @@ void RunSmoke(const char* index_name) {
                         << KeySpaceKindName(cfg.kind) << " --n " << cfg.n
                         << " --seed " << cfg.seed << " --ops " << per_kind
                         << (cfg.zipf_pick ? " --zipf" : "")
+                        << (scan_heavy ? " --mix scan-heavy" : "")
                         << " --audit-every 100000";
     executed += res.ops_executed;
   }
@@ -82,6 +94,15 @@ TEST(FuzzSmoke, Rowex) { RunSmoke("rowex"); }
 TEST(FuzzSmoke, Art) { RunSmoke("art"); }
 TEST(FuzzSmoke, Masstree) { RunSmoke("masstree"); }
 TEST(FuzzSmoke, Btree) { RunSmoke("btree"); }
+
+// Range-sharded wrappers (ycsb/range_sharded.h): same >= 1e6-op budget each.
+// The scan-heavy mix forces cross-shard ScanFrom spillover — uniform byte
+// splitters put the kUniform / kAdvMulti8 / kInteger keyspaces across many
+// shards, while kPrefix collapses into one shard and exercises the
+// single-shard fast path.
+TEST(FuzzSmoke, HotRangeSharded) { RunSmoke("hot-rs"); }
+TEST(FuzzSmoke, HotRangeShardedScanHeavy) { RunSmoke("hot-rs", true); }
+TEST(FuzzSmoke, RowexRangeShardedScanHeavy) { RunSmoke("rowex-rs", true); }
 
 // Concurrent ROWEX arm: one writer churns a fixed-seed key set while two
 // readers probe and scan.  Readers check the invariants that hold mid-race

@@ -140,6 +140,38 @@ TEST(Histogram, EmptyAndSingle) {
   EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
 }
 
+// Regression: ValueAtPercentile on an empty histogram must return 0 for
+// EVERY p — including the p >= 100 early-out and out-of-range p — and the
+// cumulative bucket walk must never run with count() == 0 (it would walk
+// all buckets and fall through to max()).  Callers used to be the only
+// guard (RunObservers::ForEachHistogram skips empty histograms); the
+// histogram itself now defines the behavior.
+TEST(Histogram, EmptyPercentilesAreZeroForAllP) {
+  LatencyHistogram h;
+  for (double p : {0.0, 0.001, 25.0, 50.0, 99.0, 99.9, 100.0,
+                   // out-of-range inputs are clamped, not UB
+                   -5.0, 250.0}) {
+    EXPECT_EQ(h.ValueAtPercentile(p), 0u) << "p=" << p;
+  }
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+
+  // Emptied-again histograms behave like never-filled ones.
+  h.Record(7);
+  h.Record(1u << 20);
+  EXPECT_NE(h.ValueAtPercentile(50), 0u);
+  h.Reset();
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.ValueAtPercentile(p), 0u) << "after Reset, p=" << p;
+  }
+
+  // Merging an empty histogram into an empty histogram stays empty.
+  LatencyHistogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.ValueAtPercentile(99.9), 0u);
+}
+
 // --- merge ------------------------------------------------------------------
 
 void FillRandom(LatencyHistogram& h, uint64_t seed, size_t n) {

@@ -343,5 +343,101 @@ TEST(RowexStress, HotSpotChurn) {
   EXPECT_TRUE(trie.Validate(&err)) << err;
 }
 
+// Targeted regression for the Upsert retry path (rowex.h: TryOverwrite
+// returning "not found" means a concurrent Remove won the race, and the
+// upsert must restart as a fresh insert).  One upserter and one remover
+// hammer the SAME small key set, so nearly every upsert takes that
+// contested path.  Presence accounting: an upsert that returns nullopt is
+// an insert event (absent -> present), a successful remove is a delete
+// event (present -> absent), and overwrites don't change presence — so for
+// every key, at quiesce,
+//     inserts - removes ∈ {0, 1}   and   present == (inserts - removes).
+// A key present with inserts == removes RESURRECTED after a successful
+// Remove returned; a key absent with inserts == removes + 1 LOST an upsert.
+// Afterwards, with no concurrent writers, removing every live key must
+// empty the trie for good.
+TEST(RowexStress, UpsertVsRemoveRace) {
+  constexpr size_t kPairs = 4;        // independent upserter/remover pairs
+  constexpr uint64_t kKeysPerPair = 16;  // few keys = maximal contention
+  const size_t ops = OpsPerRound();
+
+  StressTrie trie;
+  // inserts[k] written only by the pair's upserter, removes[k] only by its
+  // remover; the joins below are the synchronization points.
+  std::vector<uint64_t> inserts(kPairs * kKeysPerPair, 0);
+  std::vector<uint64_t> removes(kPairs * kKeysPerPair, 0);
+  auto id_of = [](size_t pair, uint64_t slot) {
+    return (slot << 4) | pair;  // writer-id layout, disjoint across pairs
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t pair = 0; pair < kPairs; ++pair) {
+    threads.emplace_back([&, pair] {  // upserter
+      SplitMix64 rng(0xe100 + pair);
+      uint64_t version = 1;
+      for (size_t op = 0; op < ops; ++op) {
+        uint64_t slot = rng.NextBounded(kKeysPerPair);
+        uint64_t id = id_of(pair, slot);
+        auto prev = trie.Upsert(MakeValue(id, version++));
+        if (prev.has_value()) {
+          // Overwrites must return a value for the SAME key, never one
+          // spliced into a node the remover already retired.
+          ASSERT_EQ(*prev & kIdMask, id);
+        } else {
+          ++inserts[pair * kKeysPerPair + slot];
+        }
+      }
+    });
+    threads.emplace_back([&, pair] {  // remover
+      SplitMix64 rng(0xe200 + pair);
+      for (size_t op = 0; op < ops; ++op) {
+        uint64_t slot = rng.NextBounded(kKeysPerPair);
+        if (trie.Remove(U64Key(id_of(pair, slot)).ref())) {
+          ++removes[pair * kKeysPerPair + slot];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::string err;
+  ASSERT_TRUE(trie.Validate(&err)) << err;
+  size_t expected_live = 0;
+  for (size_t pair = 0; pair < kPairs; ++pair) {
+    for (uint64_t slot = 0; slot < kKeysPerPair; ++slot) {
+      uint64_t id = id_of(pair, slot);
+      uint64_t i = inserts[pair * kKeysPerPair + slot];
+      uint64_t d = removes[pair * kKeysPerPair + slot];
+      ASSERT_LE(d, i) << "key " << id << ": more removes than inserts";
+      ASSERT_LE(i - d, 1u) << "key " << id << ": impossible presence count";
+      bool present = trie.Lookup(U64Key(id).ref()).has_value();
+      if (i - d == 1) {
+        EXPECT_TRUE(present) << "key " << id << " lost an upsert (inserts="
+                             << i << ", removes=" << d << ")";
+        ++expected_live;
+      } else {
+        EXPECT_FALSE(present)
+            << "key " << id << " resurrected after a successful Remove "
+            << "(inserts=" << i << ", removes=" << d << ")";
+      }
+    }
+  }
+  EXPECT_EQ(trie.size(), expected_live);
+
+  // Quiesced drain: every successful Remove must be final.
+  for (size_t pair = 0; pair < kPairs; ++pair) {
+    for (uint64_t slot = 0; slot < kKeysPerPair; ++slot) {
+      uint64_t id = id_of(pair, slot);
+      if (trie.Lookup(U64Key(id).ref()).has_value()) {
+        ASSERT_TRUE(trie.Remove(U64Key(id).ref()));
+      }
+      EXPECT_FALSE(trie.Lookup(U64Key(id).ref()).has_value())
+          << "key " << id << " present after quiesced Remove";
+    }
+  }
+  EXPECT_EQ(trie.size(), 0u);
+  ASSERT_TRUE(trie.Validate(&err)) << err;
+}
+
 }  // namespace
 }  // namespace hot

@@ -102,6 +102,54 @@ TEST(Workloads, SpecsMatchYcsbCore) {
   EXPECT_DOUBLE_EQ(f.rmw, 0.5);
 }
 
+TEST(Workloads, AllCoreSpecsValidate) {
+  for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    for (auto d : {Distribution::kUniform, Distribution::kZipfian}) {
+      EXPECT_EQ(ValidateWorkloadSpec(YcsbWorkload(w, d)), "")
+          << "workload " << w;
+    }
+  }
+}
+
+// Regression: the op-pick chain in RunBenchmark treats insert as the
+// residual branch, so a mix summing to less than 1 used to silently run
+// extra inserts and one summing to more than 1 silently starved the later
+// branches.  Malformed specs must be rejected up front instead.
+TEST(Workloads, MalformedSpecsAreRejected) {
+  DataSet ds = GenerateDataSet(DataSetKind::kInteger, 2000);
+  IntDataSetAdapter<HotTrie> adapter(&ds);
+
+  WorkloadSpec short_sum = YcsbWorkload('A', Distribution::kUniform);
+  short_sum.update = 0.1;  // 0.5 + 0.1 = 0.6
+  EXPECT_NE(ValidateWorkloadSpec(short_sum), "");
+  EXPECT_THROW(RunBenchmark(adapter, ds, 1000, 100, short_sum),
+               std::invalid_argument);
+
+  WorkloadSpec over_sum = YcsbWorkload('E', Distribution::kUniform);
+  over_sum.read = 0.5;  // 0.5 + 0.95 + 0.05 = 1.5
+  EXPECT_NE(ValidateWorkloadSpec(over_sum), "");
+  EXPECT_THROW(RunBenchmark(adapter, ds, 1000, 100, over_sum),
+               std::invalid_argument);
+
+  WorkloadSpec negative = YcsbWorkload('A', Distribution::kUniform);
+  negative.read = -0.5;
+  negative.update = 1.5;  // sums to 1.0, probabilities out of range
+  EXPECT_NE(ValidateWorkloadSpec(negative), "");
+  EXPECT_THROW(RunBenchmark(adapter, ds, 1000, 100, negative),
+               std::invalid_argument);
+
+  WorkloadSpec zero_scan_len = YcsbWorkload('E', Distribution::kUniform);
+  zero_scan_len.max_scan_len = 0;
+  EXPECT_NE(ValidateWorkloadSpec(zero_scan_len), "");
+  EXPECT_THROW(RunBenchmark(adapter, ds, 1000, 100, zero_scan_len),
+               std::invalid_argument);
+
+  // max_scan_len = 0 is fine when the mix never scans.
+  WorkloadSpec no_scans = YcsbWorkload('C', Distribution::kUniform);
+  no_scans.max_scan_len = 0;
+  EXPECT_EQ(ValidateWorkloadSpec(no_scans), "");
+}
+
 template <typename Adapter>
 void SmokeRun(const DataSet& ds) {
   Adapter adapter(&ds);
@@ -132,6 +180,22 @@ TEST(Driver, AllIndexesAllWorkloadsInteger) {
   SmokeRun<IntDataSetAdapter<ArtTree>>(ds);
   SmokeRun<IntDataSetAdapter<BTree>>(ds);
   SmokeRun<IntDataSetAdapter<Masstree>>(ds);
+}
+
+// Range-sharded wrappers run the full workload matrix — including E, whose
+// scans the hash-sharded wrapper rejects at compile time — through the same
+// adapters as the raw indexes.
+template <typename Ex>
+using RangeShardedHotOf = RangeShardedIndex<HotTrie<Ex>, Ex>;
+template <typename Ex>
+using RangeShardedBTreeOf = RangeShardedIndex<BTree<Ex>, Ex>;
+
+TEST(Driver, RangeShardedRunsAllWorkloads) {
+  DataSet ints = GenerateDataSet(DataSetKind::kInteger, 30000);
+  SmokeRun<IntDataSetAdapter<RangeShardedHotOf>>(ints);
+  SmokeRun<IntDataSetAdapter<RangeShardedBTreeOf>>(ints);
+  DataSet urls = GenerateDataSet(DataSetKind::kUrl, 30000);
+  SmokeRun<StringDataSetAdapter<RangeShardedHotOf>>(urls);
 }
 
 TEST(Driver, ZipfianRunsAndSkews) {

@@ -4,6 +4,7 @@
 //       serialization round-trip + a small differential on every index
 //   fuzz_replay --record out.trace --kind uniform --n 4096 --seed 7
 //              [--ops 20000] [--zipf] [--audit-every 1000]
+//              [--mix default|scan-heavy|workload-e]
 //       generate a deterministic trace and write it to a file
 //   fuzz_replay --replay in.trace [--index all|hot|rowex|art|masstree|btree]
 //       replay a trace file differentially; exit 1 on divergence
@@ -66,7 +67,37 @@ struct Args {
   uint64_t rounds = 20;
   uint64_t audit_every = 1000;
   bool zipf = false;
+  std::string mix = "default";
 };
+
+// Named op-weight presets.  "scan-heavy" skews toward range reads so the
+// sharded arms cross splitter boundaries constantly; "workload-e" mirrors
+// the YCSB E ratio (95% scan / 5% insert) as closely as the trace op set
+// allows.  Returns false for an unknown name.
+bool ApplyMix(const std::string& mix, TraceGenConfig* cfg) {
+  if (mix == "default") return true;
+  if (mix == "scan-heavy") {
+    cfg->w_scan = 40;
+    cfg->w_lower_bound = 15;
+    cfg->w_insert = 25;
+    cfg->w_remove = 10;
+    cfg->w_lookup = 7;
+    cfg->w_upsert = 3;
+    return true;
+  }
+  if (mix == "workload-e") {
+    cfg->w_scan = 90;
+    cfg->w_lower_bound = 5;
+    cfg->w_insert = 5;
+    cfg->w_remove = 0;
+    cfg->w_lookup = 0;
+    cfg->w_upsert = 0;
+    return true;
+  }
+  return false;
+}
+
+const char* kMixNames[] = {"default", "scan-heavy", "workload-e"};
 
 bool ParseArgs(int argc, char** argv, Args* a) {
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +123,7 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       if (v == nullptr) return false;
       if (arg == "--index") a->index = v;
       else if (arg == "--kind") a->kind = v;
+      else if (arg == "--mix") a->mix = v;
       else if (arg == "--out") a->out = v;
       else if (arg == "--out-dir") a->out_dir = v;
       else if (arg == "--n") a->n = std::strtoull(v, nullptr, 10);
@@ -171,6 +203,11 @@ int LongCampaign(const Args& a) {
     cfg.num_ops = a.ops;
     cfg.zipf_pick = (round % 3) == 0;
     cfg.audit_every = a.audit_every;
+    // Cycle the op-mix presets so every campaign covers point-op-dominated
+    // and scan-dominated traffic.
+    const char* mix =
+        kMixNames[(a.seed + round) % (sizeof(kMixNames) / sizeof(*kMixNames))];
+    ApplyMix(mix, &cfg);
     Trace t = GenerateTrace(cfg);
     for (unsigned i = 0; i < kNumIndexes; ++i) {
       if (a.index != "all" && a.index != kIndexNames[i]) continue;
@@ -228,6 +265,10 @@ int main(int argc, char** argv) {
     cfg.num_ops = a.ops;
     cfg.zipf_pick = a.zipf;
     cfg.audit_every = a.audit_every;
+    if (!ApplyMix(a.mix, &cfg)) {
+      std::fprintf(stderr, "unknown mix %s\n", a.mix.c_str());
+      return 2;
+    }
     Trace t = GenerateTrace(cfg);
     if (!t.SaveFile(a.file)) {
       std::fprintf(stderr, "cannot write %s\n", a.file.c_str());
