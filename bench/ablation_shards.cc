@@ -2,33 +2,47 @@
 // (ycsb/range_sharded.h): sweeps the shard count over {1, 2, 4, 8, 16, 32,
 // 64} with HOT as the per-shard index and measures multi-threaded insert,
 // lookup, and workload-E scan throughput plus the shard-size imbalance the
-// sampled splitters produce.
+// sampled splitters produce — in two execution modes:
+//
+//   random  every thread draws uniform random records over the whole key
+//           space (the PR-5 driver).  Shards only help by splitting the
+//           lock; every thread still walks every shard's cache lines.
+//   affine  thread-affine: each worker owns a contiguous shard range
+//           (ShardRangeOfThread) and its insert/lookup streams are
+//           pre-partitioned to records routing there (PartitionIdsByOwner),
+//           with workers pinned (PinThreadToCpu).  No two threads contend
+//           on one shard's lock, and each worker's working set is its own
+//           1/T slice of the data — the upper trie levels stay cache-warm
+//           even when threads share a core (each scheduler quantum reuses
+//           the same slice).
+//
+// Lookups run through the wrapper's batched path in BOTH modes (groups of
+// kLookupGroup keys; one route pass + one AMAC descent group per shard
+// bucket), so the mode column isolates placement, not batching.
 //
 // What the sweep shows: 1 shard serializes every writer behind a single
-// lock (the degenerate case — a plain global-lock index); more shards cut
-// lock contention roughly linearly until either the thread count or the
-// splitter-sampling error dominates.  The imbalance column (max shard size
-// over ideal) is the cost signal: equi-depth sampling keeps it near 1 for
-// uniform integers but degrades with very many shards on skewed string
-// sets, and an overloaded shard re-serializes the writers that hash
-// sharding would have spread out.  Scans pay a small fixed spillover cost
-// per shard boundary crossed, so scan throughput favors fewer shards at a
-// fixed scan length.
+// lock; more shards cut contention until splitter-sampling error or
+// fixed per-shard costs dominate.  The imbalance column (max shard size
+// over ideal) is the cost signal for sampled splitters.  Scans pay a small
+// spillover cost per shard boundary crossed.
 //
 // Usage: ablation_shards [--keys=N] [--ops=N] [--threads=N] [--seed=N]
 //
-// Emits BENCH_ablation_shards.json with one row per (dataset, shards).
+// Emits BENCH_ablation_shards.json with one row per (dataset, mode, shards).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <numeric>
+#include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/json_out.h"
 #include "common/extractors.h"
-#include "common/locks.h"
+#include "common/thread.h"
 #include "common/rng.h"
 #include "hot/trie.h"
 #include "ycsb/datasets.h"
@@ -44,6 +58,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr unsigned kShardCounts[] = {1, 2, 4, 8, 16, 32, 64};
+constexpr size_t kLookupGroup = 64;  // keys per batched-lookup flush
 
 std::atomic<uint64_t> benchmark_sink{0};
 
@@ -55,49 +70,109 @@ struct SweepResult {
   uint64_t empty_shards;
 };
 
-// One barrier-synchronized parallel phase; returns elapsed seconds.
+// One barrier-synchronized parallel phase; returns elapsed seconds.  The
+// waits yield: with more workers than cores a spinning barrier burns a
+// scheduler quantum per straggler before the phase even starts.
 template <typename Body>
-double RunParallel(unsigned threads, Body&& body) {
+double RunParallel(unsigned threads, bool pin, Body&& body) {
   std::atomic<unsigned> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      ++ready;
-      while (!go) CpuRelax();
+      if (pin) PinThreadToCpu(t);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       body(t);
     });
   }
-  while (ready != threads) CpuRelax();
+  while (ready.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
   auto t0 = Clock::now();
-  go = true;
+  go.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
 // `value_of(i)` maps record id -> stored tid payload; `with_key(i, fn)`
 // materializes record i's key and invokes fn(KeyRef) before the backing
-// storage (a U64Key on the stack for integers) goes away.
-template <typename MakeIndex, typename ValueOf, typename WithKey>
+// storage (a U64Key on the stack for integers) goes away; `key_batch(ids,
+// keys)` fills keys[j] with record ids[j]'s KeyRef, all views valid until
+// the calling thread's next key_batch call.
+template <typename MakeIndex, typename ValueOf, typename WithKey,
+          typename KeyBatch>
 SweepResult RunSweep(const DataSet& ds, unsigned shards, unsigned threads,
-                     size_t lookups, size_t scan_ops, MakeIndex make_index,
-                     ValueOf&& value_of, WithKey&& with_key) {
+                     size_t lookups, size_t scan_ops, bool affine,
+                     MakeIndex make_index, ValueOf&& value_of,
+                     WithKey&& with_key, KeyBatch&& key_batch) {
   auto idx = make_index(shards);
   const size_t n = ds.size();
   const size_t load_n = n - n / 16;  // tail reserved for workload-E inserts
 
-  double insert_s = RunParallel(threads, [&](unsigned t) {
-    size_t lo = load_n * t / threads, hi = load_n * (t + 1) / threads;
-    for (size_t i = lo; i < hi; ++i) idx.Insert(value_of(i));
-  });
-  double lookup_s = RunParallel(threads, [&](unsigned t) {
-    SplitMix64 rng(31 + t);
-    for (size_t i = 0; i < lookups / threads; ++i) {
-      with_key(rng.NextBounded(load_n),
-               [&](KeyRef key) { idx.Lookup(key); });
+  // Affine mode: pre-partition the insert and lookup streams so worker t
+  // only ever touches shards in its contiguous range.  The lookup id
+  // sequence is the same deterministic uniform draw the random mode makes,
+  // just dealt to the owning workers.
+  std::vector<std::vector<uint32_t>> insert_streams, lookup_streams;
+  if (affine) {
+    auto shard_of = [&](uint32_t id) {
+      unsigned s = 0;
+      with_key(id, [&](KeyRef key) { s = idx.ShardOf(key); });
+      return s;
+    };
+    std::vector<uint32_t> ids(load_n);
+    std::iota(ids.begin(), ids.end(), 0u);
+    insert_streams =
+        PartitionIdsByOwner(ids, idx.shard_count(), threads, shard_of);
+    ids.resize(lookups);
+    SplitMix64 rng(31);
+    for (auto& id : ids) id = static_cast<uint32_t>(rng.NextBounded(load_n));
+    lookup_streams =
+        PartitionIdsByOwner(ids, idx.shard_count(), threads, shard_of);
+  }
+
+  double insert_s = RunParallel(threads, affine, [&](unsigned t) {
+    if (affine) {
+      for (uint32_t i : insert_streams[t]) idx.Insert(value_of(i));
+    } else {
+      size_t lo = load_n * t / threads, hi = load_n * (t + 1) / threads;
+      for (size_t i = lo; i < hi; ++i) idx.Insert(value_of(i));
     }
   });
-  double scan_s = RunParallel(threads, [&](unsigned t) {
+
+  double lookup_s = RunParallel(threads, affine, [&](unsigned t) {
+    std::vector<uint32_t> group;
+    group.reserve(kLookupGroup);
+    std::vector<KeyRef> keys(kLookupGroup);
+    std::vector<std::optional<uint64_t>> found(kLookupGroup);
+    uint64_t hits = 0;
+    auto flush = [&] {
+      if (group.empty()) return;
+      key_batch(group, keys);
+      idx.LookupBatch(std::span<const KeyRef>(keys.data(), group.size()),
+                      std::span<std::optional<uint64_t>>(found.data(),
+                                                         group.size()));
+      for (size_t j = 0; j < group.size(); ++j) hits += found[j].has_value();
+      group.clear();
+    };
+    if (affine) {
+      for (uint32_t id : lookup_streams[t]) {
+        group.push_back(id);
+        if (group.size() == kLookupGroup) flush();
+      }
+    } else {
+      SplitMix64 rng(31 + t);
+      for (size_t i = 0; i < lookups / threads; ++i) {
+        group.push_back(static_cast<uint32_t>(rng.NextBounded(load_n)));
+        if (group.size() == kLookupGroup) flush();
+      }
+    }
+    flush();
+    benchmark_sink.fetch_add(hits, std::memory_order_relaxed);
+  });
+
+  double scan_s = RunParallel(threads, affine, [&](unsigned t) {
     SplitMix64 rng(67 + t);
     size_t fresh = n - load_n;
     size_t next = load_n + fresh * t / threads;
@@ -134,12 +209,15 @@ SweepResult RunSweep(const DataSet& ds, unsigned shards, unsigned threads,
 
 int main(int argc, char** argv) {
   BenchConfig cfg = ParseBenchConfig(argc, argv);
+  // The regression hid below 8 threads: default past it, and past the
+  // hardware, so the oversubscribed case is always exercised.
   unsigned threads = cfg.threads != 0
                          ? cfg.threads
-                         : std::max(1u, std::thread::hardware_concurrency());
+                         : std::max(8u, std::thread::hardware_concurrency());
   const size_t scan_ops = std::max<size_t>(cfg.ops / 16, 1000);
   printf("ablation_shards: range-sharded HOT, shard count sweep "
-         "(%zu keys, %zu lookups, %zu workload-E ops, %u threads)\n\n",
+         "(%zu keys, %zu lookups, %zu workload-E ops, %u threads, "
+         "modes random+affine)\n\n",
          cfg.keys, cfg.ops, scan_ops, threads);
 
   bench::BenchJson json("ablation_shards");
@@ -148,18 +226,21 @@ int main(int argc, char** argv) {
       .Add("ops", cfg.ops)
       .Add("scan_ops", scan_ops)
       .Add("threads", threads)
+      .Add("lookup_group", static_cast<uint64_t>(kLookupGroup))
       .Add("seed", cfg.seed);
 
-  Table table({"dataset", "shards", "insert-mops", "lookup-mops", "scanE-mops",
-               "imbalance", "empty"});
+  Table table({"dataset", "mode", "shards", "insert-mops", "lookup-mops",
+               "scanE-mops", "imbalance", "empty"});
   table.PrintHeader();
 
-  auto emit = [&](const char* dataset, unsigned shards, const SweepResult& r) {
-    table.PrintRow({dataset, std::to_string(shards), Fmt(r.insert_mops),
+  auto emit = [&](const char* dataset, const char* mode, unsigned shards,
+                  const SweepResult& r) {
+    table.PrintRow({dataset, mode, std::to_string(shards), Fmt(r.insert_mops),
                     Fmt(r.lookup_mops), Fmt(r.scan_mops), Fmt(r.imbalance),
                     std::to_string(r.empty_shards)});
     bench::JsonObject j;
     j.Add("dataset", dataset)
+        .Add("mode", mode)
         .Add("shards", shards)
         .Add("insert_mops", r.insert_mops)
         .Add("lookup_mops", r.lookup_mops)
@@ -171,36 +252,53 @@ int main(int argc, char** argv) {
 
   {
     DataSet ds = GenerateDataSet(DataSetKind::kInteger, cfg.keys, cfg.seed);
-    for (unsigned shards : kShardCounts) {
-      SweepResult r = RunSweep(
-          ds, shards, threads, cfg.ops, scan_ops,
-          [&](unsigned s) {
-            return RangeShardedIndex<HotTrie<U64KeyExtractor>,
-                                     U64KeyExtractor>(SampledSplitters(ds, s),
-                                                      U64KeyExtractor());
-          },
-          [&](size_t i) { return ds.ints[i]; },
-          [&](size_t i, auto&& fn) {
-            U64Key key(ds.ints[i]);
-            fn(key.ref());
-          });
-      emit("integer", shards, r);
+    for (bool affine : {false, true}) {
+      for (unsigned shards : kShardCounts) {
+        SweepResult r = RunSweep(
+            ds, shards, threads, cfg.ops, scan_ops, affine,
+            [&](unsigned s) {
+              return RangeShardedIndex<HotTrie<U64KeyExtractor>,
+                                       U64KeyExtractor>(
+                  SampledSplitters(ds, s), U64KeyExtractor());
+            },
+            [&](size_t i) { return ds.ints[i]; },
+            [&](size_t i, auto&& fn) {
+              U64Key key(ds.ints[i]);
+              fn(key.ref());
+            },
+            [&](const std::vector<uint32_t>& ids, std::vector<KeyRef>& keys) {
+              static thread_local std::vector<uint8_t> bytes;
+              bytes.resize(ids.size() * 8);
+              for (size_t j = 0; j < ids.size(); ++j) {
+                EncodeU64(ds.ints[ids[j]], &bytes[j * 8]);
+                keys[j] = KeyRef(&bytes[j * 8], 8);
+              }
+            });
+        emit("integer", affine ? "affine" : "random", shards, r);
+      }
     }
   }
   {
     DataSet ds = GenerateDataSet(DataSetKind::kUrl, cfg.keys, cfg.seed);
     StringTableExtractor ex(&ds.strings);
-    for (unsigned shards : kShardCounts) {
-      SweepResult r = RunSweep(
-          ds, shards, threads, cfg.ops, scan_ops,
-          [&](unsigned s) {
-            return RangeShardedIndex<HotTrie<StringTableExtractor>,
-                                     StringTableExtractor>(
-                SampledSplitters(ds, s), ex);
-          },
-          [&](size_t i) { return static_cast<uint64_t>(i); },
-          [&](size_t i, auto&& fn) { fn(TerminatedView(ds.strings[i])); });
-      emit("url", shards, r);
+    for (bool affine : {false, true}) {
+      for (unsigned shards : kShardCounts) {
+        SweepResult r = RunSweep(
+            ds, shards, threads, cfg.ops, scan_ops, affine,
+            [&](unsigned s) {
+              return RangeShardedIndex<HotTrie<StringTableExtractor>,
+                                       StringTableExtractor>(
+                  SampledSplitters(ds, s), ex);
+            },
+            [&](size_t i) { return static_cast<uint64_t>(i); },
+            [&](size_t i, auto&& fn) { fn(TerminatedView(ds.strings[i])); },
+            [&](const std::vector<uint32_t>& ids, std::vector<KeyRef>& keys) {
+              for (size_t j = 0; j < ids.size(); ++j) {
+                keys[j] = TerminatedView(ds.strings[ids[j]]);
+              }
+            });
+        emit("url", affine ? "affine" : "random", shards, r);
+      }
     }
   }
   json.WriteFile();

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__)
 #include <immintrin.h>
@@ -33,6 +34,12 @@ class RowexLockWord {
   static constexpr uint8_t kObsoleteBit = 1u << 1;
 
   void Lock() {
+    // Bounded spin, then yield: when threads outnumber cores (the service
+    // front-end's oversubscribed workers, CI runners), a holder preempted
+    // mid-critical-section must get CPU time back from the spinners or the
+    // whole shard convoys for a scheduler quantum per waiter.  Short
+    // critical sections still acquire within the pause phase.
+    unsigned spins = 0;
     for (;;) {
       uint8_t cur = word_.load(std::memory_order_relaxed);
       if ((cur & kLockedBit) == 0 &&
@@ -41,7 +48,12 @@ class RowexLockWord {
                                       std::memory_order_relaxed)) {
         return;
       }
-      CpuRelax();
+      if (++spins < kSpinsBeforeYield) {
+        CpuRelax();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
     }
   }
 
@@ -64,6 +76,8 @@ class RowexLockWord {
   }
 
  private:
+  static constexpr unsigned kSpinsBeforeYield = 128;
+
   std::atomic<uint8_t> word_{0};
 };
 

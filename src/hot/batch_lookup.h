@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 
 #include "common/key.h"
 #include "hot/node.h"
@@ -50,18 +51,23 @@ struct AcquireSlotLoad {
   }
 };
 
-// Descends every `keys[i]` from `root` to its terminal entry (tid or
-// empty), keeping up to `width` probes in flight.  `per_level(key_index,
-// node, slot_index)` is invoked for every (node, chosen slot) a probe
-// passes through, in root-to-leaf order per key — lower-bound callers
-// record the search path there; plain lookups pass a no-op.
+// Indexed variant: descends keys[ids[j]] for j in [0, n) and writes
+// terminal[ids[j]], so a caller holding a routed subset of a larger key
+// array (ycsb/range_sharded.h buckets one shard's keys by input position)
+// can drive one AMAC group per subset with NO gather of the keys and NO
+// scatter of the results — the id array IS the scatter map.  `ids ==
+// nullptr` means the identity mapping (the plain BatchDescend below).
 //
-// `root` must be a node entry (callers handle empty/tid roots, which need
-// no traversal).  Results land in terminal[i].
+// `per_level(key_index, node, slot_index)` is invoked for every (node,
+// chosen slot) a probe passes through, in root-to-leaf order per key —
+// lower-bound callers record the search path there; plain lookups pass a
+// no-op.  `root` must be a node entry (callers handle empty/tid roots,
+// which need no traversal).
 template <typename SlotLoad, typename PerLevel>
-inline void BatchDescend(uint64_t root, const KeyRef* keys, size_t n,
-                         uint64_t* terminal, unsigned width,
-                         PerLevel&& per_level) {
+inline void BatchDescendIndexed(uint64_t root, const KeyRef* keys,
+                                const uint32_t* ids, size_t n,
+                                uint64_t* terminal, unsigned width,
+                                PerLevel&& per_level) {
   assert(HotEntry::IsNode(root));
   if (n == 0) return;
   if (width == 0) width = kDefaultBatchWidth;
@@ -74,10 +80,13 @@ inline void BatchDescend(uint64_t root, const KeyRef* keys, size_t n,
   Probe probes[kMaxBatchWidth];
   unsigned active = 0;
   size_t next = 0;
+  auto key_of = [&](size_t j) {
+    return ids != nullptr ? ids[j] : static_cast<uint32_t>(j);
+  };
 
   PrefetchNode(root);  // shared first level: one prefetch serves everyone
   while (active < width && next < n) {
-    probes[active++] = {root, static_cast<uint32_t>(next++)};
+    probes[active++] = {root, key_of(next++)};
   }
 
   while (active > 0) {
@@ -97,7 +106,7 @@ inline void BatchDescend(uint64_t root, const KeyRef* keys, size_t n,
         terminal[pr.key_idx] = child;
         if (next < n) {
           // Refill from the pending keys; the root is hot by now.
-          pr = {root, static_cast<uint32_t>(next++)};
+          pr = {root, key_of(next++)};
           ++s;
         } else {
           probes[s] = probes[--active];  // drain: retire this probe slot
@@ -105,6 +114,17 @@ inline void BatchDescend(uint64_t root, const KeyRef* keys, size_t n,
       }
     }
   }
+}
+
+// Descends every `keys[i]` from `root` to its terminal entry (tid or
+// empty), keeping up to `width` probes in flight; results land in
+// terminal[i].  See BatchDescendIndexed for the contract.
+template <typename SlotLoad, typename PerLevel>
+inline void BatchDescend(uint64_t root, const KeyRef* keys, size_t n,
+                         uint64_t* terminal, unsigned width,
+                         PerLevel&& per_level) {
+  BatchDescendIndexed<SlotLoad>(root, keys, nullptr, n, terminal, width,
+                                std::forward<PerLevel>(per_level));
 }
 
 }  // namespace hot

@@ -1,5 +1,5 @@
 // Node pool: size-class free lists over arena chunks for HOT's
-// copy-on-write nodes.
+// copy-on-write nodes — striped per thread.
 //
 // Every insert replaces one node (§4.2 copy-on-write), so node allocation
 // and deallocation sit directly on the insert path; general-purpose
@@ -7,14 +7,28 @@
 // blocks (the tagged node pointer needs 4 low bits) from 256 KiB arena
 // chunks and recycles freed blocks in per-size-class free lists.
 //
-// Thread safety: each size class is guarded by a tiny spinlock so the
-// ROWEX-synchronized trie's concurrent writers can allocate safely;
-// uncontended acquisition is a single uncontended CAS, negligible for the
-// single-threaded trie.
+// Thread layout: the pool is split into kStripes cache-line-padded stripes;
+// a thread operates on stripe CurrentThreadIndex() % kStripes.  Each stripe
+// owns its free lists AND its bump arena, so concurrent writers (the
+// range-sharded arms drive many shards' pools from many threads, ROWEX
+// drives one pool from all of them) neither contend on a shared head nor
+// false-share adjacent list pointers.  Chunks are malloc'd and
+// first-written by the allocating thread, so with pinned workers the pages
+// land on that worker's NUMA node (first-touch placement).
+//
+// Cross-thread frees are the interesting case: ROWEX epoch reclamation
+// frees a node on whichever thread drains the limbo list, not the thread
+// that allocated it.  A free always lands in the *freeing* thread's stripe
+// (O(1), local); when an allocating stripe runs dry it steals a bounded
+// batch from a sibling stripe before carving fresh arena — the global
+// fallback that keeps a produce-on-A/free-on-B pattern from growing the
+// arena without bound.  A per-stripe nonempty-class bitmask makes the
+// steal probe a few relaxed loads, so cold-start misses stay cheap.
 //
 // Accounting: the owning MemoryCounter sees the rounded block size (what
 // the structure actually occupies), so Fig. 9 numbers include the <=8-byte
-// class padding.
+// class padding.  Identity (telemetry_test): hits + carves == allocations,
+// steals <= hits.
 
 #ifndef HOT_HOT_NODE_POOL_H_
 #define HOT_HOT_NODE_POOL_H_
@@ -23,12 +37,12 @@
 #include <cassert>
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
 #include <new>
 #include <vector>
 
 #include "common/alloc.h"
 #include "common/locks.h"
+#include "common/thread.h"
 #include "obs/stat_counter.h"
 
 namespace hot {
@@ -38,10 +52,10 @@ class NodePool {
   static constexpr size_t kGranularity = 16;
   static constexpr size_t kMaxPooledBytes = 1024;
   static constexpr size_t kChunkBytes = 1 << 18;
+  static constexpr size_t kStripes = 8;      // power of two
+  static constexpr size_t kStealBatch = 16;  // blocks migrated per steal
 
-  explicit NodePool(MemoryCounter* counter) : counter_(counter) {
-    for (auto& head : free_heads_) head = nullptr;
-  }
+  explicit NodePool(MemoryCounter* counter) : counter_(counter) {}
 
   ~NodePool() {
     for (void* chunk : chunks_) std::free(chunk);
@@ -56,18 +70,18 @@ class NodePool {
     AllocFaultInjector::MaybeFail();
     size_t cls = ClassOf(bytes);
     size_t rounded = cls * kGranularity;
-    if (counter_ != nullptr) counter_->OnAlloc(rounded);
-    {
-      SpinGuard guard(&class_locks_[cls]);
-      void* head = free_heads_[cls];
-      if (head != nullptr) {
-        free_heads_[cls] = *static_cast<void**>(head);
-        hits_.Add();
-        return head;
-      }
+    Stripe& home = stripes_[CurrentThreadIndex() & (kStripes - 1)];
+
+    void* block = PopLocal(home, cls);
+    if (block == nullptr) block = StealFromSiblings(home, cls);
+    if (block != nullptr) {
+      home.hits.Add();
+    } else {
+      block = CarveBlock(home, rounded);
+      home.carves.Add();
     }
-    carves_.Add();
-    return CarveBlock(rounded);
+    if (counter_ != nullptr) counter_->OnAlloc(rounded);
+    return block;
   }
 
   void FreeAligned(void* ptr, size_t bytes, size_t alignment) {
@@ -75,26 +89,43 @@ class NodePool {
     if (ptr == nullptr) return;
     size_t cls = ClassOf(bytes);
     if (counter_ != nullptr) counter_->OnFree(cls * kGranularity);
-    SpinGuard guard(&class_locks_[cls]);
-    *static_cast<void**>(ptr) = free_heads_[cls];
-    free_heads_[cls] = ptr;
+    Stripe& home = stripes_[CurrentThreadIndex() & (kStripes - 1)];
+    SpinGuard guard(&home.lock);
+    *static_cast<void**>(ptr) = home.free_heads[cls];
+    home.free_heads[cls] = ptr;
+    if (!MaskHas(home, cls)) MaskSet(home, cls);
   }
 
   MemoryCounter* counter() const { return counter_; }
 
   // Bytes held in arena chunks (live nodes + free lists + bump slack).
-  size_t ArenaBytes() const { return chunks_.size() * kChunkBytes; }
+  size_t ArenaBytes() const {
+    return chunk_count_.load(std::memory_order_relaxed) * kChunkBytes;
+  }
 
   // Telemetry (obs/telemetry.h): allocations served from a free list vs
-  // bump-carved from an arena.  Zero with HOT_STATS=OFF.
+  // bump-carved from an arena, plus cross-stripe steals (free-list hits
+  // whose blocks were recycled by a *different* thread's stripe — the
+  // produce-here/free-there migration signal).  Zero with HOT_STATS=OFF.
   struct Stats {
     uint64_t hits;
     uint64_t carves;
+    uint64_t steals;
   };
-  Stats stats() const { return {hits_.value(), carves_.value()}; }
+  Stats stats() const {
+    Stats s{0, 0, 0};
+    for (const Stripe& st : stripes_) {
+      s.hits += st.hits.value();
+      s.carves += st.carves.value();
+      s.steals += st.steals.value();
+    }
+    return s;
+  }
 
  private:
   static constexpr size_t kNumClasses = kMaxPooledBytes / kGranularity + 1;
+  static_assert(kNumClasses <= 65, "nonempty bitmask holds classes 1..64");
+  static_assert((kStripes & (kStripes - 1)) == 0, "kStripes is a power of 2");
 
   struct SpinGuard {
     explicit SpinGuard(std::atomic_flag* flag) : flag_(flag) {
@@ -104,34 +135,111 @@ class NodePool {
     std::atomic_flag* flag_;
   };
 
+  // One thread stripe, padded so no two stripes share a cache line.  The
+  // nonempty mask (bit cls-1) is written under the stripe lock but read
+  // lock-free by stealing siblings.
+  struct alignas(64) Stripe {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::atomic<uint64_t> nonempty{0};
+    void* free_heads[kNumClasses] = {};
+    uint8_t* bump = nullptr;
+    uint8_t* bump_end = nullptr;
+    obs::StatCounter hits;
+    obs::StatCounter carves;
+    obs::StatCounter steals;
+  };
+
+  static bool MaskHas(const Stripe& s, size_t cls) {
+    return (s.nonempty.load(std::memory_order_relaxed) >> (cls - 1)) & 1u;
+  }
+  static void MaskSet(Stripe& s, size_t cls) {
+    s.nonempty.fetch_or(uint64_t{1} << (cls - 1), std::memory_order_relaxed);
+  }
+  static void MaskClear(Stripe& s, size_t cls) {
+    s.nonempty.fetch_and(~(uint64_t{1} << (cls - 1)),
+                         std::memory_order_relaxed);
+  }
+
   static size_t ClassOf(size_t bytes) {
     size_t cls = (bytes + kGranularity - 1) / kGranularity;
-    assert(cls < kNumClasses && "node size exceeds pool classes");
+    assert(cls >= 1 && cls < kNumClasses && "node size exceeds pool classes");
     return cls;
   }
 
-  void* CarveBlock(size_t rounded) {
-    SpinGuard guard(&bump_lock_);
-    if (bump_ + rounded > bump_end_) {
+  void* PopLocal(Stripe& stripe, size_t cls) {
+    SpinGuard guard(&stripe.lock);
+    void* head = stripe.free_heads[cls];
+    if (head == nullptr) return nullptr;
+    stripe.free_heads[cls] = *static_cast<void**>(head);
+    if (stripe.free_heads[cls] == nullptr) MaskClear(stripe, cls);
+    return head;
+  }
+
+  // Global fallback: migrate up to kStealBatch blocks of `cls` from the
+  // first sibling stripe advertising a nonempty list.  Never holds two
+  // stripe locks at once (no ordering, no deadlock): victim blocks are
+  // detached into a local array, then repushed under the home lock.
+  void* StealFromSiblings(Stripe& home, size_t cls) {
+    for (size_t step = 1; step < kStripes; ++step) {
+      Stripe& victim =
+          stripes_[(StripeIndexOf(home) + step) & (kStripes - 1)];
+      if (!MaskHas(victim, cls)) continue;
+      void* batch[kStealBatch];
+      size_t got = 0;
+      {
+        SpinGuard guard(&victim.lock);
+        void* head = victim.free_heads[cls];
+        while (head != nullptr && got < kStealBatch) {
+          batch[got++] = head;
+          head = *static_cast<void**>(head);
+        }
+        victim.free_heads[cls] = head;
+        if (head == nullptr) MaskClear(victim, cls);
+      }
+      if (got == 0) continue;  // raced with the victim draining it
+      home.steals.Add();
+      if (got > 1) {
+        SpinGuard guard(&home.lock);
+        for (size_t i = 1; i < got; ++i) {
+          *static_cast<void**>(batch[i]) = home.free_heads[cls];
+          home.free_heads[cls] = batch[i];
+        }
+        if (!MaskHas(home, cls)) MaskSet(home, cls);
+      }
+      return batch[0];
+    }
+    return nullptr;
+  }
+
+  void* CarveBlock(Stripe& stripe, size_t rounded) {
+    SpinGuard guard(&stripe.lock);
+    if (stripe.bump == nullptr || stripe.bump + rounded > stripe.bump_end) {
       void* chunk = std::aligned_alloc(kGranularity, kChunkBytes);
       if (chunk == nullptr) throw std::bad_alloc();
-      chunks_.push_back(chunk);
-      bump_ = static_cast<uint8_t*>(chunk);
-      bump_end_ = bump_ + kChunkBytes;
+      try {
+        SpinGuard chunks_guard(&chunks_lock_);
+        chunks_.push_back(chunk);
+      } catch (...) {
+        std::free(chunk);
+        throw;
+      }
+      chunk_count_.fetch_add(1, std::memory_order_relaxed);
+      stripe.bump = static_cast<uint8_t*>(chunk);
+      stripe.bump_end = stripe.bump + kChunkBytes;
     }
-    void* block = bump_;
-    bump_ += rounded;
+    void* block = stripe.bump;
+    stripe.bump += rounded;
     return block;
   }
 
+  size_t StripeIndexOf(const Stripe& s) const {
+    return static_cast<size_t>(&s - stripes_);
+  }
+
   MemoryCounter* counter_;
-  obs::StatCounter hits_;
-  obs::StatCounter carves_;
-  void* free_heads_[kNumClasses];
-  std::atomic_flag class_locks_[kNumClasses] = {};
-  std::atomic_flag bump_lock_ = ATOMIC_FLAG_INIT;
-  uint8_t* bump_ = nullptr;
-  uint8_t* bump_end_ = nullptr;
+  Stripe stripes_[kStripes];
+  std::atomic_flag chunks_lock_ = ATOMIC_FLAG_INIT;
+  std::atomic<size_t> chunk_count_{0};
   std::vector<void*> chunks_;
 };
 

@@ -13,7 +13,8 @@
 //     backlog, and the distance between the global epoch and the oldest
 //     limbo entry is the reclamation lag.
 //   * NodePool counters (hot/node_pool.h) — free-list hits vs fresh arena
-//     carves on the copy-on-write allocation path.
+//     carves on the copy-on-write allocation path, plus cross-stripe
+//     steals (blocks recycled by another thread's stripe).
 //
 // `CollectTelemetry(trie)` works on any index exposing ForEachNode and
 // picks up whichever of the optional surfaces (rowex_counters / epochs /
@@ -63,6 +64,7 @@ struct TelemetrySnapshot {
   // Node pool.
   uint64_t pool_hits = 0;    // allocations served from a free list
   uint64_t pool_carves = 0;  // allocations bump-carved from an arena chunk
+  uint64_t pool_steals = 0;  // hits whose blocks came from a sibling stripe
 
   // Range-sharded wrappers (ycsb/range_sharded.h): the shard layout this
   // snapshot was folded over.  Zero `shards` means a single-tree index.
@@ -96,6 +98,7 @@ struct TelemetrySnapshot {
         << " retired=" << nodes_retired << " reclaimed=" << nodes_reclaimed
         << " backlog=" << retire_backlog << " lag=" << reclamation_lag
         << " pool_hits=" << pool_hits << " pool_carves=" << pool_carves
+        << " pool_steals=" << pool_steals
         << " nodes=" << census.nodes << " fill=" << FillFactor();
     if (shards != 0) {
       oss << " shards=" << shards << " empty_shards=" << empty_shards
@@ -135,6 +138,7 @@ TelemetrySnapshot CollectTelemetry(const Trie& trie) {
     auto p = trie.pool_stats();
     s.pool_hits = p.hits;
     s.pool_carves = p.carves;
+    s.pool_steals = p.steals;
   }
   return s;
 }
@@ -166,6 +170,7 @@ TelemetrySnapshot CollectTelemetry(const Wrapper& wrapper) {
     s.reclamation_lag = std::max(s.reclamation_lag, t.reclamation_lag);
     s.pool_hits += t.pool_hits;
     s.pool_carves += t.pool_carves;
+    s.pool_steals += t.pool_steals;
     for (size_t i = 0; i < kNumNodeTypes; ++i) {
       s.census.count_by_type[i] += t.census.count_by_type[i];
       s.census.bytes_by_type[i] += t.census.bytes_by_type[i];

@@ -27,9 +27,20 @@
 //     key sample; use for skewed key spaces (URLs share "http…" prefixes,
 //     which would otherwise collapse every key into one shard).
 //
-// Routing is a binary search over the splitter list on the raw key bytes.
+// Routing is a binary search over the splitter list.  The search runs on a
+// precomputed array of 8-byte big-endian splitter prefixes (one u64 compare
+// per probe instead of a memcmp through a double indirection) and falls
+// back to full byte comparison only within equal-prefix runs — zero-padded
+// prefix order agrees with KeyRef::Compare whenever the prefixes differ.
 // A key's shard never changes (splitters are fixed after Reshard), so
 // per-key operation atomicity reduces to the shard's own synchronization.
+//
+// Concurrency hygiene, learned the hard way (DESIGN.md §10 post-mortem):
+// each shard's index pointer and lock word live in one cache-line-aligned
+// slot, so two threads operating on different shards never false-share a
+// line of lock words; and LookupBatch routes/buckets in reusable
+// thread-local scratch — the previous vector-of-vectors gather allocated
+// per call and serialized every thread through the heap.
 
 #ifndef HOT_YCSB_RANGE_SHARDED_H_
 #define HOT_YCSB_RANGE_SHARDED_H_
@@ -43,6 +54,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/extractors.h"
@@ -79,7 +91,51 @@ concept ShardHasLookupBatch =
       t.LookupBatch(keys, out);
     };
 
+// Indexes exposing the routed-subset AMAC entry point (HotTrie,
+// RowexHotTrie): the wrapper hands them (keys, ids) directly and skips the
+// gather/scatter copies entirely.
+template <typename T>
+concept ShardHasLookupBatchIndexed =
+    requires(const T& t, std::span<const KeyRef> keys,
+             std::span<const uint32_t> ids,
+             std::span<std::optional<uint64_t>> out) {
+      t.LookupBatchIndexed(keys, ids, out);
+    };
+
+// First 8 key bytes as a big-endian u64, zero-padded.  Ordering property
+// used by the router: if two keys' prefixes differ, u64 order equals
+// KeyRef::Compare order (memcmp-then-length), because a zero pad byte is
+// minimal exactly like "ran out of key".  Equal prefixes decide nothing.
+inline uint64_t KeyPrefix64(KeyRef key) {
+  uint64_t p = 0;
+  const size_t n = key.size() < 8 ? key.size() : 8;
+  for (size_t i = 0; i < n; ++i) {
+    p |= static_cast<uint64_t>(key.data()[i]) << (56 - 8 * i);
+  }
+  return p;
+}
+
 }  // namespace detail
+
+// Contiguous block partition of `shards` shards over `threads` workers —
+// the thread-affine execution contract shared by the benches and the YCSB
+// driver: thread t owns shards [t*S/T, (t+1)*S/T), so each worker touches a
+// contiguous key range (its splitter window) and its shards' upper trie
+// levels stay in its private cache between operations.
+inline std::pair<unsigned, unsigned> ShardRangeOfThread(unsigned thread,
+                                                        unsigned shards,
+                                                        unsigned threads) {
+  const uint64_t s = shards, t = threads;
+  return {static_cast<unsigned>(thread * s / t),
+          static_cast<unsigned>((thread + uint64_t{1}) * s / t)};
+}
+
+// Inverse of ShardRangeOfThread: the worker whose range contains `shard`.
+inline unsigned OwnerOfShard(unsigned shard, unsigned shards,
+                             unsigned threads) {
+  return static_cast<unsigned>(
+      ((shard + uint64_t{1}) * threads - 1) / shards);
+}
 
 // `shards` equal first-byte ranges: splitters at byte ceil(256*s/shards).
 // Balanced for uniformly distributed binary keys (the integer data sets);
@@ -112,11 +168,22 @@ inline SplitterKeys SplittersFromSamples(
 // Equi-depth splitters for a generated data set: sample up to `max_sample`
 // keys (terminated string bytes / big-endian integer bytes, matching what
 // the index adapters feed the tries), sort, and take `shards`-1 boundaries.
+//
+// `max_sample = 0` (the default) scales the sample with the shard count:
+// max(4096, shards * 256), i.e. at least 256 sample points per boundary
+// gap.  A fixed 4096-key sample left only 64 points per gap at 64 shards —
+// enough quantile noise for a 1.41x max/mean shard imbalance on the url
+// data set (BENCH_ablation_shards.json, PR 5); 256 points pulls the
+// estimator's relative error down by 2x and keeps the url imbalance under
+// 1.2 (range_sharded_test.cc pins this).
 inline SplitterKeys SampledSplitters(const DataSet& ds, unsigned shards,
-                                     size_t max_sample = 4096) {
+                                     size_t max_sample = 0) {
   std::vector<std::vector<uint8_t>> samples;
   size_t n = ds.size();
   if (n == 0 || shards < 2) return {};
+  if (max_sample == 0) {
+    max_sample = std::max<size_t>(4096, static_cast<size_t>(shards) * 256);
+  }
   size_t stride = n > max_sample ? n / max_sample : 1;
   for (size_t i = 0; i < n; i += stride) {
     if (ds.IsString()) {
@@ -210,33 +277,82 @@ class RangeShardedIndex {
     });
   }
 
+  // Routes every key to its owning shard in one pass.  Prefix-first: one
+  // u64 compare per binary-search probe, full byte comparison only when a
+  // probe's splitter shares the key's first 8 bytes.  Agrees with ShardOf
+  // key-for-key (range_sharded_test.cc pins the parity).
+  void RouteBatch(std::span<const KeyRef> keys, uint32_t* shard_out) const {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      shard_out[i] = RouteOne(keys[i], detail::KeyPrefix64(keys[i]));
+    }
+  }
+
   // Batched point lookups, forwarded per shard to the underlying
-  // memory-level-parallel descent (hot/batch_lookup.h): keys are bucketed
-  // by owning shard, each bucket runs one LookupBatch, results scatter back
-  // to their input positions.
+  // memory-level-parallel descent (hot/batch_lookup.h).  One route pass
+  // (RouteBatch) replaces the old per-key memcmp binary search; a counting
+  // sort buckets key *ids* by shard in reusable thread-local scratch (the
+  // previous vector-of-vectors allocated every call, and every calling
+  // thread serialized on the allocator); each nonempty bucket then drives
+  // one AMAC group through the shard's LookupBatchIndexed, with the id
+  // bucket acting as the scatter map.  out[i] is written exactly once, for
+  // every i — including duplicate keys and keys of empty shards — so the
+  // scatter-back order is deterministic.
   void LookupBatch(std::span<const KeyRef> keys,
                    std::span<std::optional<uint64_t>> out) const
     requires detail::ShardHasLookupBatch<Index>
   {
     assert(out.size() >= keys.size());
-    std::vector<std::vector<uint32_t>> by_shard(shards_.size());
-    for (size_t i = 0; i < keys.size(); ++i) {
-      by_shard[ShardOf(keys[i])].push_back(static_cast<uint32_t>(i));
+    const size_t n = keys.size();
+    if (n == 0) return;
+    struct Scratch {
+      std::vector<uint32_t> shard_of;  // RouteBatch output, one per key
+      std::vector<uint32_t> cursor;    // bucket starts, then fill cursors
+      std::vector<uint32_t> ids;       // key ids grouped by shard
+      std::vector<KeyRef> bucket;                    // gather fallback only
+      std::vector<std::optional<uint64_t>> results;  // gather fallback only
+    };
+    static thread_local Scratch scratch;
+
+    scratch.shard_of.resize(n);
+    RouteBatch(keys, scratch.shard_of.data());
+
+    // Counting sort of ids by shard, stable in input order.  After the
+    // fill pass cursor[s] has advanced to the start of bucket s+1, so
+    // bucket s spans [s == 0 ? 0 : cursor[s-1], cursor[s]).
+    scratch.cursor.assign(shard_count_ + 1, 0);
+    for (size_t i = 0; i < n; ++i) ++scratch.cursor[scratch.shard_of[i] + 1];
+    for (size_t s = 1; s <= shard_count_; ++s) {
+      scratch.cursor[s] += scratch.cursor[s - 1];
     }
-    std::vector<KeyRef> bucket;
-    std::vector<std::optional<uint64_t>> results;
-    for (unsigned s = 0; s < shards_.size(); ++s) {
-      if (by_shard[s].empty()) continue;
-      bucket.clear();
-      for (uint32_t i : by_shard[s]) bucket.push_back(keys[i]);
-      results.assign(bucket.size(), std::nullopt);
-      WithShard(s, [&](const Index& idx) {
-        idx.LookupBatch(std::span<const KeyRef>(bucket),
-                        std::span<std::optional<uint64_t>>(results));
+    scratch.ids.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      scratch.ids[scratch.cursor[scratch.shard_of[i]]++] =
+          static_cast<uint32_t>(i);
+    }
+
+    for (size_t s = 0; s < shard_count_; ++s) {
+      const uint32_t begin = s == 0 ? 0 : scratch.cursor[s - 1];
+      const uint32_t end = scratch.cursor[s];
+      if (begin == end) continue;
+      std::span<const uint32_t> ids(scratch.ids.data() + begin, end - begin);
+      WithShard(static_cast<unsigned>(s), [&](const Index& idx) {
+        if constexpr (detail::ShardHasLookupBatchIndexed<Index>) {
+          idx.LookupBatchIndexed(keys, ids, out);
+        } else {
+          // Shard type without the indexed entry point: gather the bucket's
+          // keys, batch-look them up, scatter back — still in thread-local
+          // scratch, still one batch call per shard.
+          scratch.bucket.clear();
+          for (uint32_t id : ids) scratch.bucket.push_back(keys[id]);
+          scratch.results.assign(ids.size(), std::nullopt);
+          idx.LookupBatch(
+              std::span<const KeyRef>(scratch.bucket),
+              std::span<std::optional<uint64_t>>(scratch.results));
+          for (size_t j = 0; j < ids.size(); ++j) {
+            out[ids[j]] = scratch.results[j];
+          }
+        }
       });
-      for (size_t j = 0; j < by_shard[s].size(); ++j) {
-        out[by_shard[s][j]] = results[j];
-      }
     }
   }
 
@@ -255,7 +371,7 @@ class RangeShardedIndex {
   size_t ScanFrom(KeyRef start, size_t limit, Fn&& fn) const {
     size_t produced = 0;
     const unsigned first = ShardOf(start);
-    for (unsigned s = first; s < shards_.size() && produced < limit; ++s) {
+    for (unsigned s = first; s < shard_count_ && produced < limit; ++s) {
       KeyRef from = s == first ? start : KeyRef();
       produced += WithShard(s, [&](const Index& idx) {
         return idx.ScanFrom(from, limit - produced, fn);
@@ -268,35 +384,23 @@ class RangeShardedIndex {
 
   size_t size() const {
     size_t n = 0;
-    for (unsigned s = 0; s < shards_.size(); ++s) {
+    for (unsigned s = 0; s < shard_count_; ++s) {
       n += WithShard(s, [](const Index& idx) { return idx.size(); });
     }
     return n;
   }
   bool empty() const { return size() == 0; }
 
-  unsigned shard_count() const {
-    return static_cast<unsigned>(shards_.size());
-  }
+  unsigned shard_count() const { return static_cast<unsigned>(shard_count_); }
   size_t shard_size(unsigned s) const {
     return WithShard(s, [](const Index& idx) { return idx.size(); });
   }
   const SplitterKeys& splitters() const { return splitters_; }
 
-  // Shard the key routes to: the number of splitters <= key (binary
-  // search over the raw big-endian key bytes).
+  // Shard the key routes to: the number of splitters <= key.  Same
+  // prefix-first search as RouteBatch.
   unsigned ShardOf(KeyRef key) const {
-    unsigned lo = 0, hi = static_cast<unsigned>(splitters_.size());
-    while (lo < hi) {
-      unsigned mid = lo + (hi - lo) / 2;
-      KeyRef splitter(splitters_[mid].data(), splitters_[mid].size());
-      if (splitter.Compare(key) <= 0) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+    return RouteOne(key, detail::KeyPrefix64(key));
   }
 
   // Visits every shard index in shard (= key) order.  Quiescent-only when
@@ -304,12 +408,23 @@ class RangeShardedIndex {
   // testing/differ.h per-shard audits).
   template <typename Fn>
   void ForEachShard(Fn&& fn) const {
-    for (const auto& shard : shards_) fn(*shard);
+    for (size_t s = 0; s < shard_count_; ++s) fn(*slots_[s].index);
   }
 
   const KeyExtractor& extractor() const { return extractor_; }
 
  private:
+  // One shard's complete state — index pointer plus its wrapper lock — in
+  // its own cache line.  The previous layout kept every shard's 1-byte
+  // RowexLockWord adjacent in a single RowexLockWord[]: up to 64 shards'
+  // locks in ONE line, so any thread's acquire invalidated every other
+  // thread's cached copy of every lock (pure false sharing; the §10
+  // post-mortem measured it as most of the 1→16-shard lookup regression).
+  struct alignas(64) ShardSlot {
+    std::unique_ptr<Index> index;
+    mutable RowexLockWord lock;
+  };
+
   struct LockGuard {
     explicit LockGuard(RowexLockWord* lock) : lock_(lock) { lock_->Lock(); }
     ~LockGuard() { lock_->Unlock(); }
@@ -318,23 +433,46 @@ class RangeShardedIndex {
 
   template <typename Fn>
   decltype(auto) WithShard(unsigned s, Fn&& fn) const {
-    assert(s < shards_.size());
+    assert(s < shard_count_);
     if constexpr (kSelfSynchronized) {
-      return fn(const_cast<const Index&>(*shards_[s]));
+      return fn(const_cast<const Index&>(*slots_[s].index));
     } else {
-      LockGuard guard(&locks_[s]);
-      return fn(const_cast<const Index&>(*shards_[s]));
+      LockGuard guard(&slots_[s].lock);
+      return fn(const_cast<const Index&>(*slots_[s].index));
     }
   }
   template <typename Fn>
   decltype(auto) WithShard(unsigned s, Fn&& fn) {
-    assert(s < shards_.size());
+    assert(s < shard_count_);
     if constexpr (kSelfSynchronized) {
-      return fn(*shards_[s]);
+      return fn(*slots_[s].index);
     } else {
-      LockGuard guard(&locks_[s]);
-      return fn(*shards_[s]);
+      LockGuard guard(&slots_[s].lock);
+      return fn(*slots_[s].index);
     }
+  }
+
+  // Partition point over the splitters: count of splitters <= key.  Probes
+  // compare u64 prefixes; only an equal-prefix probe pays the full
+  // KeyRef::Compare through the splitter byte vector.
+  unsigned RouteOne(KeyRef key, uint64_t key_prefix) const {
+    unsigned lo = 0, hi = static_cast<unsigned>(prefix64_.size());
+    while (lo < hi) {
+      unsigned mid = lo + (hi - lo) / 2;
+      bool le;  // splitter[mid] <= key?
+      if (prefix64_[mid] != key_prefix) {
+        le = prefix64_[mid] < key_prefix;
+      } else {
+        KeyRef splitter(splitters_[mid].data(), splitters_[mid].size());
+        le = splitter.Compare(key) <= 0;
+      }
+      if (le) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
   }
 
   void InstallSplitters(SplitterKeys splitters) {
@@ -347,18 +485,21 @@ class RangeShardedIndex {
       }
     }
     splitters_ = std::move(splitters);
-    shards_.clear();
-    for (size_t s = 0; s < splitters_.size() + 1; ++s) {
-      shards_.push_back(factory_());
+    prefix64_.clear();
+    for (const auto& sp : splitters_) {
+      prefix64_.push_back(detail::KeyPrefix64(KeyRef(sp.data(), sp.size())));
     }
-    locks_ = std::make_unique<RowexLockWord[]>(shards_.size());
+    shard_count_ = splitters_.size() + 1;
+    slots_ = std::make_unique<ShardSlot[]>(shard_count_);
+    for (size_t s = 0; s < shard_count_; ++s) slots_[s].index = factory_();
   }
 
   KeyExtractor extractor_;
   std::function<std::unique_ptr<Index>()> factory_;
   SplitterKeys splitters_;
-  std::vector<std::unique_ptr<Index>> shards_;
-  mutable std::unique_ptr<RowexLockWord[]> locks_;
+  std::vector<uint64_t> prefix64_;  // KeyPrefix64 of each splitter
+  size_t shard_count_ = 0;
+  std::unique_ptr<ShardSlot[]> slots_;
 };
 
 }  // namespace ycsb

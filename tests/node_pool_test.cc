@@ -5,12 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/stat_counter.h"
 
 namespace hot {
 namespace {
@@ -73,6 +75,82 @@ TEST(NodePool, DistinctLiveBlocksNeverAlias) {
       live.erase(reinterpret_cast<uintptr_t>(p));
       pool.FreeAligned(p, bytes, 16);
     }
+  }
+}
+
+// Produce-on-A / free-on-B migration: every round a fresh thread allocates
+// a batch and the NEXT fresh thread frees it, so freed blocks always land
+// in a different stripe than the next allocator's.  Without the
+// steal-from-siblings fallback each round would bump-carve fresh arena and
+// the pool would grow without bound; with it, the arena stays bounded by
+// roughly one chunk per stripe and the steal counter moves.
+TEST(NodePool, CrossThreadFreeIsStolenBack) {
+  MemoryCounter counter;
+  NodePool pool(&counter);
+  constexpr size_t kBlocks = 2000;
+  constexpr size_t kBytes = 64;
+  constexpr int kRounds = 24;
+  std::vector<void*> batch;
+  for (int round = 0; round < kRounds; ++round) {
+    std::thread producer([&] {
+      batch.clear();
+      for (size_t i = 0; i < kBlocks; ++i) {
+        batch.push_back(pool.AllocateAligned(kBytes, 16));
+      }
+    });
+    producer.join();
+    std::thread consumer([&] {
+      for (void* p : batch) pool.FreeAligned(p, kBytes, 16);
+    });
+    consumer.join();
+  }
+  EXPECT_EQ(counter.live_bytes(), 0u);
+  // 24 rounds x 2000 x 64B = 3 MiB allocated; a pool that never reused the
+  // migrated blocks would hold ~12 chunks of bump arena for them alone.
+  // Stealing keeps it to at most one warm-up chunk per stripe.
+  EXPECT_LE(pool.ArenaBytes(), NodePool::kStripes * NodePool::kChunkBytes);
+  if constexpr (obs::kStatsEnabled) {
+    NodePool::Stats s = pool.stats();
+    EXPECT_GT(s.steals, 0u);
+    EXPECT_LE(s.steals, s.hits);
+    EXPECT_EQ(s.hits + s.carves,
+              static_cast<uint64_t>(kBlocks) * kRounds);
+  }
+}
+
+// Cross-thread interleaving under contention: every thread both allocates
+// and frees blocks that other threads produced (via a shared exchange
+// slot).  The TSan CI lane runs this as the race check for the striped
+// free lists, the nonempty masks, and the steal path.
+TEST(NodePool, ConcurrentCrossThreadExchange) {
+  MemoryCounter counter;
+  NodePool pool(&counter);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  constexpr size_t kBytes = 48;
+  std::atomic<void*> exchange{nullptr};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &exchange, t] {
+      SplitMix64 rng(100 + t);
+      for (int i = 0; i < kOps; ++i) {
+        void* mine = pool.AllocateAligned(kBytes, 16);
+        std::memset(mine, t + 1, kBytes);
+        // Swap into the shared slot; free whatever another thread left.
+        void* theirs = exchange.exchange(mine, std::memory_order_acq_rel);
+        if (theirs != nullptr) pool.FreeAligned(theirs, kBytes, 16);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  void* last = exchange.exchange(nullptr, std::memory_order_acq_rel);
+  if (last != nullptr) pool.FreeAligned(last, kBytes, 16);
+  EXPECT_EQ(counter.live_bytes(), 0u);
+  if constexpr (obs::kStatsEnabled) {
+    NodePool::Stats s = pool.stats();
+    EXPECT_EQ(s.hits + s.carves,
+              static_cast<uint64_t>(kThreads) * kOps);
+    EXPECT_LE(s.steals, s.hits);
   }
 }
 

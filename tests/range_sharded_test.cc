@@ -248,6 +248,100 @@ TEST(RangeSharded, LookupBatchMatchesScalar) {
   }
 }
 
+// Scatter-order regression for the scratch-based batched path: out[i] must
+// be written for EVERY input position i — duplicate keys (several ids land
+// in one shard bucket), all keys routing to one shard, and shards whose
+// bucket is empty.  The old vector-of-vectors gather got this right by
+// construction; the counting-sort rewrite has to be pinned.
+TEST(RangeSharded, LookupBatchScatterOrder) {
+  RangeShardedU64 idx(SplittersAt({64, 128, 192}), U64KeyExtractor());
+  for (uint64_t v = 0; v < 256; v += 2) ASSERT_TRUE(idx.Insert(v));
+
+  // Duplicate keys interleaved across shards, in deliberately non-sorted
+  // shard order (shard 3, 0, 3, 1, 0, ...), plus misses.
+  std::vector<uint64_t> probe = {200, 10, 200, 70, 10, 255, 7, 70, 10, 131};
+  std::vector<U64Key> storage;
+  storage.reserve(probe.size());
+  std::vector<KeyRef> keys;
+  for (uint64_t v : probe) {
+    storage.emplace_back(v);
+    keys.push_back(storage.back().ref());
+  }
+  // Poison the output so an unwritten position is caught.
+  std::vector<std::optional<uint64_t>> out(keys.size(),
+                                           std::optional<uint64_t>(999999));
+  idx.LookupBatch(std::span<const KeyRef>(keys),
+                  std::span<std::optional<uint64_t>>(out));
+  for (size_t i = 0; i < probe.size(); ++i) {
+    if (probe[i] % 2 == 0) {
+      ASSERT_EQ(out[i], std::optional<uint64_t>(probe[i])) << i;
+    } else {
+      ASSERT_EQ(out[i], std::nullopt) << i;
+    }
+  }
+
+  // All keys in one shard; every other shard's bucket is empty.
+  keys.clear();
+  storage.clear();
+  storage.reserve(32);
+  for (uint64_t v = 140; v < 172; ++v) {  // all route to shard 2
+    ASSERT_EQ(idx.ShardOf(U64Key(v).ref()), 2u);
+    storage.emplace_back(v);
+    keys.push_back(storage.back().ref());
+  }
+  out.assign(keys.size(), std::optional<uint64_t>(999999));
+  idx.LookupBatch(std::span<const KeyRef>(keys),
+                  std::span<std::optional<uint64_t>>(out));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t v = 140 + i;
+    ASSERT_EQ(out[i], v % 2 == 0 ? std::optional<uint64_t>(v) : std::nullopt)
+        << i;
+  }
+}
+
+// RouteBatch must agree with ShardOf key-for-key, including keys that share
+// their first 8 bytes with a splitter — the prefix64 fast path decides
+// those probes by full byte comparison, not the u64 prefix.
+TEST(RangeSharded, RouteBatchMatchesShardOf) {
+  // Splitters longer than 8 bytes sharing one 8-byte prefix, so every
+  // routing decision among them falls through to the byte comparison.
+  auto with_suffix = [](std::initializer_list<uint8_t> suffix) {
+    std::vector<uint8_t> k = {'p', 'r', 'e', 'f', 'i', 'x', '!', '!'};
+    k.insert(k.end(), suffix);
+    return k;
+  };
+  SplitterKeys sk;
+  sk.push_back(with_suffix({0x10}));
+  sk.push_back(with_suffix({0x20}));
+  sk.push_back(with_suffix({0x20, 0x01}));  // differs only at byte 9
+  sk.push_back(with_suffix({0x30}));
+  RangeShardedIndex<HotTrie<StringTableExtractor>, StringTableExtractor> idx(
+      sk, StringTableExtractor(nullptr));
+
+  std::vector<std::vector<uint8_t>> probes = {
+      {'a'},                                  // below the prefix entirely
+      {'p', 'r', 'e', 'f', 'i', 'x'},         // shorter than the prefix
+      {'p', 'r', 'e', 'f', 'i', 'x', '!', '!'},  // == prefix, < all splitters
+      with_suffix({0x10}),                    // equal to splitter 0
+      with_suffix({0x15}),
+      with_suffix({0x20}),                    // equal to splitter 1
+      with_suffix({0x20, 0x00}),              // between splitters 1 and 2
+      with_suffix({0x20, 0x01}),              // equal to splitter 2
+      with_suffix({0x25}),
+      with_suffix({0x30, 0xff}),              // above splitter 3
+      {'z'},                                  // above the prefix entirely
+  };
+  std::vector<KeyRef> keys;
+  for (const auto& p : probes) keys.emplace_back(p.data(), p.size());
+  std::vector<uint32_t> routed(keys.size());
+  idx.RouteBatch(keys, routed.data());
+  const unsigned expected[] = {0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(routed[i], idx.ShardOf(keys[i])) << i;
+    EXPECT_EQ(routed[i], expected[i]) << i;
+  }
+}
+
 // --- splitter selection ----------------------------------------------------
 
 TEST(RangeSharded, SampledSplittersBalanceUniformIntegers) {
@@ -271,6 +365,31 @@ TEST(RangeSharded, SampledSplittersBalanceUniformIntegers) {
   // The census counts node entries (inner pointers included), so the fold
   // across shards must cover at least one leaf entry per key.
   EXPECT_GE(snap.census.total_entries, ds.ints.size());
+}
+
+// Regression for the 64-shard equi-depth bias on skewed string keys: the
+// fixed 4096-key sample left only 64 sample points per boundary gap, and
+// the quantile noise produced a 1.41x max/ideal imbalance on the url set
+// (BENCH_ablation_shards.json, PR 5).  The default now scales the sample
+// with the shard count (>= 256 points per gap); the imbalance must stay
+// within the estimator's noise band.
+TEST(RangeSharded, SampledSplittersBalanceUrl64Shards) {
+  ycsb::DataSet ds = ycsb::GenerateDataSet(ycsb::DataSetKind::kUrl, 60000);
+  constexpr unsigned kShards = 64;
+  SplitterKeys sk = SampledSplitters(ds, kShards);
+  ASSERT_GE(sk.size(), kShards - 4);  // dedup may collapse a few boundaries
+  RangeShardedIndex<HotTrie<StringTableExtractor>, StringTableExtractor> idx(
+      sk, StringTableExtractor(&ds.strings));
+  // Routing census is enough to measure balance (no inserts needed).
+  std::vector<size_t> per_shard(idx.shard_count(), 0);
+  for (const std::string& s : ds.strings) {
+    ++per_shard[idx.ShardOf(TerminatedView(s))];
+  }
+  double ideal = static_cast<double>(ds.strings.size()) / idx.shard_count();
+  size_t max_shard = 0;
+  for (size_t c : per_shard) max_shard = std::max(max_shard, c);
+  EXPECT_LT(static_cast<double>(max_shard) / ideal, 1.25)
+      << "url 64-shard imbalance regressed";
 }
 
 TEST(RangeSharded, SplitterHelpersShapes) {

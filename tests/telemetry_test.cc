@@ -74,8 +74,13 @@ TEST(Telemetry, HotTrieCensusAndPool) {
     EXPECT_GT(s.pool_hits + s.pool_carves, s.census.nodes);
     EXPECT_GT(s.pool_carves, 0u);
     EXPECT_GT(s.pool_hits, 0u);  // 50k inserts certainly recycle nodes
+    // A steal is a flavor of free-list hit, never a separate allocation —
+    // and a single-threaded run stays entirely within one stripe.
+    EXPECT_LE(s.pool_steals, s.pool_hits);
+    EXPECT_EQ(s.pool_steals, 0u);
   } else {
     EXPECT_EQ(s.pool_hits + s.pool_carves, 0u);
+    EXPECT_EQ(s.pool_steals, 0u);
   }
 }
 
@@ -86,7 +91,7 @@ TEST(Telemetry, SummaryMentionsEveryField) {
   for (const char* field :
        {"restarts=", "cow=", "pushdowns=", "splices=", "retired=",
         "reclaimed=", "backlog=", "lag=", "pool_hits=", "pool_carves=",
-        "nodes=", "fill="}) {
+        "pool_steals=", "nodes=", "fill="}) {
     EXPECT_NE(s.find(field), std::string::npos) << field << " in: " << s;
   }
 }

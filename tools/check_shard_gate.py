@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI gate for the shard-count sweep (bench/ablation_shards).
+
+Reads a BENCH_ablation_shards.json and fails (exit 1) if, for any dataset,
+the BEST sharded lookup arm (shards > 1, either execution mode) falls below
+the single-shard arm — i.e. if sharding is a lookup regression again, as it
+was in the PR-5 recording (integer: 3.62 Mops at 1 shard vs 1.49 at 16).
+
+The baseline is the single-shard row in "random" mode — the way an
+unsharded index is actually deployed (every thread touches the whole
+keyspace, no affinity).  The affine single-shard row is excluded from the
+baseline: with one shard, OwnerOfShard deals every operation to a single
+thread while the rest idle, so that arm measures serial execution, not an
+unsharded deployment — on small machines it can edge out every parallel
+arm by sidestepping the scheduler entirely.  It still appears in the JSON
+as a serial reference point.
+
+A tolerance factor (default 0.95) absorbs shared-runner noise at smoke
+scale: the gate only trips when the best sharded arm is clearly behind,
+not on a within-noise tie.  Insert throughput is reported for context but
+gated at a looser factor (default 0.85), since smoke-scale load phases are
+noisier than the lookup phase.
+
+Usage: check_shard_gate.py BENCH_ablation_shards.json \
+           [--lookup-factor 0.95] [--insert-factor 0.85]
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_arm(rows, metric):
+    """(value, row) of the best `metric` among sharded rows."""
+    best = max(rows, key=lambda r: r[metric])
+    return best[metric], best
+
+
+def gate_dataset(dataset, rows, lookup_factor, insert_factor):
+    single = [r for r in rows
+              if r["shards"] == 1 and r.get("mode", "random") == "random"]
+    if not single:  # pre-mode recordings or random arm absent
+        single = [r for r in rows if r["shards"] == 1]
+    sharded = [r for r in rows if r["shards"] > 1]
+    if not single or not sharded:
+        print(f"{dataset}: missing single-shard or sharded rows — skipping")
+        return []
+
+    failures = []
+    for metric, factor in (("lookup_mops", lookup_factor),
+                           ("insert_mops", insert_factor)):
+        base = max(r[metric] for r in single)
+        best, row = best_arm(sharded, metric)
+        mode = row.get("mode", "?")
+        verdict = "ok" if best >= factor * base else "FAIL"
+        print(f"{dataset}: {metric} single-shard={base:.3f} "
+              f"best-sharded={best:.3f} "
+              f"(shards={row['shards']}, mode={mode}) "
+              f"need >= {factor:.2f}x -> {verdict}")
+        if verdict == "FAIL":
+            failures.append(
+                f"{dataset}: best sharded {metric} {best:.3f} < "
+                f"{factor:.2f} x single-shard {base:.3f} — sharding is a "
+                f"regression on this metric")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path")
+    ap.add_argument("--lookup-factor", type=float, default=0.95)
+    ap.add_argument("--insert-factor", type=float, default=0.85)
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        data = json.load(f)
+    results = data.get("results", [])
+    if not results:
+        print(f"error: no results in {args.json_path}", file=sys.stderr)
+        return 1
+
+    datasets = sorted({r["dataset"] for r in results})
+    failures = []
+    for ds in datasets:
+        rows = [r for r in results if r["dataset"] == ds]
+        failures += gate_dataset(ds, rows, args.lookup_factor,
+                                 args.insert_factor)
+
+    if failures:
+        print("\nshard gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nshard gate passed: some sharded arm holds up against "
+          "single-shard on every dataset")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
