@@ -1,0 +1,709 @@
+// Hybrid static/delta HOT index: an immutable bulk-built base trie serving
+// the read-hot path, plus a small ROWEX delta absorbing writes, drained by
+// background merges that rebuild the base with the parallel bulk loader.
+//
+// The shape follows the reconstruction argument of Kwon et al. (PAPERS.md:
+// "Compressed Key Sort and Fast Index Reconstruction") and FB+-tree's
+// read-optimized/immutable split: when rebuilding from sorted input is this
+// cheap (hot/bulk_load.h, parallelized), the index never has to pay the
+// incremental write path on its read structure at all — writes accumulate
+// in a delta sized to stay cache-resident, and a rebuild folds them in.
+//
+// Layers, newest first, each a complete HOT:
+//
+//   active delta   — RowexHotTrie pair {live, dead}: live maps key→value
+//                    for inserts/upserts, dead maps key→last-live-value for
+//                    removes (tombstones must carry a value whose extracted
+//                    key is the removed key — values are full 63-bit
+//                    payloads, so there is no spare in-band flag bit).
+//                    Within one generation a key is in at most one of the
+//                    two (checked by CheckStructure).
+//   frozen delta   — the previous active generation while a merge drains
+//                    it; immutable from the instant it is unlinked.
+//   base           — immutable bulk-built HotTrie.
+//
+// Reads are wait-free and never block on merges: an epoch guard
+// (common/epoch.h) pins the three layer pointers, then lookup consults
+// active-live → active-dead → frozen-live → frozen-dead → base; scans run
+// a three-way ordered merge of the live streams with tombstone suppression
+// by point probe.  Publication order makes every interleaving consistent:
+// freeze stores `frozen` before swapping `active`, merge stores the new
+// base before clearing `frozen`, and readers load active → frozen → base
+// with acquire loads, so a reader that misses a layer is guaranteed to see
+// the data's new home.
+//
+// Writers serialize on one mutex (the delta is small; the point of the
+// design is that writes touch only it) and maintain reader-visible
+// ordering inside a generation: publish to `live` before clearing `dead`,
+// tombstone into `dead` before unpublishing from `live`.
+//
+// Merge cycle (background thread by default, inline when
+// MergeOptions::background is false; FreezeDelta/CompleteMerge are split
+// so tests can hold the index mid-merge):
+//
+//   1. freeze    — under the writer mutex: frozen ← active, active ← new.
+//   2. drain     — walk base and frozen in key order, two-pointer merge
+//                  with tombstone application (frozen-dead keys are always
+//                  base keys; insert-after-remove clears the tombstone
+//                  instead).
+//   3. rebuild   — ParallelBulkBuild over the merged sorted values.
+//   4. swap      — under the writer mutex: base ← new, frozen ← null; the
+//                  old base and frozen delta are retired to the epoch
+//                  manager so in-flight readers finish on them, then two
+//                  AdvanceAndCollect calls push them out.
+//
+// The merge trigger is size/ratio based: delta entries >=
+// max(min_delta, ratio * base size), checked after each write.
+
+#ifndef HOT_HOT_HYBRID_H_
+#define HOT_HOT_HYBRID_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <functional>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/extractors.h"
+#include "common/key.h"
+#include "hot/node.h"
+#include "hot/node_pool.h"
+#include "hot/rowex.h"
+#include "hot/trie.h"
+
+namespace hot {
+
+template <typename KeyExtractor>
+class HybridHotIndex {
+  using Base = HotTrie<KeyExtractor>;
+  using DeltaTrie = RowexHotTrie<KeyExtractor>;
+
+  struct Delta {
+    DeltaTrie live;  // key → current value (inserts / upserts)
+    DeltaTrie dead;  // key → last live value (tombstones)
+    Delta(const KeyExtractor& ex, MemoryCounter* counter)
+        : live(ex, counter), dead(ex, counter) {}
+    size_t entries() const { return live.size() + dead.size(); }
+  };
+
+ public:
+  // Readers are internally synchronized (epoch-pinned layer pointers over
+  // wait-free components); writers serialize internally on one mutex.
+  // Sharded wrappers forward lock-free, like for RowexHotTrie.
+  static constexpr bool kInternallySynchronized = true;
+
+  struct MergeOptions {
+    size_t min_delta = 4096;      // absolute delta-entry trigger
+    double ratio = 0.05;          // …or this fraction of the base size
+    unsigned rebuild_threads = 0; // 0 = hardware concurrency
+    bool background = true;       // false: merge inline on the writer
+  };
+
+  explicit HybridHotIndex(KeyExtractor extractor = KeyExtractor(),
+                          MemoryCounter* counter = nullptr,
+                          MergeOptions opts = MergeOptions())
+      : extractor_(extractor),
+        counter_(counter),
+        opts_(opts),
+        base_(new Base(extractor, counter)),
+        active_(new Delta(extractor, counter)) {}
+
+  ~HybridHotIndex() {
+    // Contract: no operations in flight.  Wait out a background merge, then
+    // reclaim everything still parked in limbo.
+    while (merge_running_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    if (merge_thread_.joinable()) merge_thread_.join();
+    epochs_.CollectAll();
+    delete frozen_.load(std::memory_order_relaxed);
+    delete active_.load(std::memory_order_relaxed);
+    delete base_.load(std::memory_order_relaxed);
+  }
+
+  HybridHotIndex(const HybridHotIndex&) = delete;
+  HybridHotIndex& operator=(const HybridHotIndex&) = delete;
+
+  // --- reads (wait-free, never block on merges) ------------------------------
+
+  std::optional<uint64_t> Lookup(KeyRef key) const {
+    EpochGuard guard(&epochs_);
+    const Delta* a = active_.load(std::memory_order_acquire);
+    if (auto v = a->live.Lookup(key)) return v;
+    if (a->dead.Lookup(key)) return std::nullopt;
+    if (const Delta* f = frozen_.load(std::memory_order_acquire)) {
+      if (auto v = f->live.Lookup(key)) return v;
+      if (f->dead.Lookup(key)) return std::nullopt;
+    }
+    return base_.load(std::memory_order_acquire)->Lookup(key);
+  }
+
+  // Visits up to `limit` live values with key >= start in key order: a
+  // three-way ordered merge of active-live, frozen-live and base, newest
+  // layer winning ties (an upsert shadows the base copy), with base/frozen
+  // candidates suppressed by tombstone point probes into the newer layers.
+  template <typename Fn>
+  size_t ScanFrom(KeyRef start, size_t limit, Fn&& fn) const {
+    if (limit == 0) return 0;
+    EpochGuard guard(&epochs_);
+    const Delta* a = active_.load(std::memory_order_acquire);
+    const Delta* f = frozen_.load(std::memory_order_acquire);
+    const Base* b = base_.load(std::memory_order_acquire);
+
+    Cursor<DeltaTrie> ca(&a->live, &extractor_);
+    Cursor<DeltaTrie> cf(f ? &f->live : nullptr, &extractor_);
+    Cursor<Base> cb(b, &extractor_);
+    ca.Seek(start);
+    cf.Seek(start);
+    cb.Seek(start);
+
+    uint8_t kbuf[kMaxKeyBytes];
+    size_t klen = 0;
+    size_t emitted = 0;
+    while (emitted < limit) {
+      // Smallest head key wins; on equal keys the newest layer's value is
+      // taken and every cursor at that key advances.
+      int src = -1;
+      {
+        KeyScratch s;
+        if (ca.valid()) {
+          KeyRef k = ca.key(s);
+          std::memcpy(kbuf, k.data(), k.size());
+          klen = k.size();
+          src = 0;
+        }
+      }
+      {
+        KeyScratch s;
+        if (cf.valid()) {
+          KeyRef k = cf.key(s);
+          if (src < 0 || k.Compare(KeyRef(kbuf, klen)) < 0) {
+            std::memcpy(kbuf, k.data(), k.size());
+            klen = k.size();
+            src = 1;
+          }
+        }
+      }
+      {
+        KeyScratch s;
+        if (cb.valid()) {
+          KeyRef k = cb.key(s);
+          if (src < 0 || k.Compare(KeyRef(kbuf, klen)) < 0) {
+            std::memcpy(kbuf, k.data(), k.size());
+            klen = k.size();
+            src = 2;
+          }
+        }
+      }
+      if (src < 0) break;
+      KeyRef winner(kbuf, klen);
+      uint64_t value = src == 0 ? ca.value() : src == 1 ? cf.value()
+                                                        : cb.value();
+      bool suppressed = false;
+      if (src >= 1) suppressed = a->dead.Lookup(winner).has_value();
+      if (src == 2 && !suppressed && f != nullptr) {
+        suppressed = f->dead.Lookup(winner).has_value();
+      }
+      {
+        KeyScratch s;
+        if (ca.valid() && ca.key(s) == winner) ca.Next();
+      }
+      {
+        KeyScratch s;
+        if (cf.valid() && cf.key(s) == winner) cf.Next();
+      }
+      {
+        KeyScratch s;
+        if (cb.valid() && cb.key(s) == winner) cb.Next();
+      }
+      if (!suppressed) {
+        fn(value);
+        ++emitted;
+      }
+    }
+    return emitted;
+  }
+
+  // --- writes (serialized, delta-only) ----------------------------------------
+
+  bool Insert(uint64_t value) {
+    KeyScratch scratch;
+    bool trigger = false;
+    {
+      std::lock_guard<std::mutex> lk(writers_);
+      KeyRef key = extractor_(value, scratch);
+      Delta* a = active_.load(std::memory_order_relaxed);
+      if (LiveValueLocked(key, a)) return false;
+      // Publish order: readers probe live before dead, so the new value is
+      // visible before (or together with) the tombstone disappearing.
+      a->live.Insert(value);
+      a->dead.Remove(key);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      trigger = ShouldMergeLocked(a);
+    }
+    if (trigger) TriggerMerge();
+    return true;
+  }
+
+  std::optional<uint64_t> Upsert(uint64_t value) {
+    KeyScratch scratch;
+    bool trigger = false;
+    std::optional<uint64_t> prev;
+    {
+      std::lock_guard<std::mutex> lk(writers_);
+      KeyRef key = extractor_(value, scratch);
+      Delta* a = active_.load(std::memory_order_relaxed);
+      prev = LiveValueLocked(key, a);
+      a->live.Upsert(value);
+      a->dead.Remove(key);
+      if (!prev) size_.fetch_add(1, std::memory_order_relaxed);
+      trigger = ShouldMergeLocked(a);
+    }
+    if (trigger) TriggerMerge();
+    return prev;
+  }
+
+  bool Remove(KeyRef key) {
+    bool trigger = false;
+    {
+      std::lock_guard<std::mutex> lk(writers_);
+      Delta* a = active_.load(std::memory_order_relaxed);
+      Delta* f = frozen_.load(std::memory_order_relaxed);
+      Base* b = base_.load(std::memory_order_relaxed);
+      std::optional<uint64_t> av = a->live.Lookup(key);
+      // Would the key resurface from an older layer if only the active
+      // entry vanished?
+      bool below_live;
+      if (f != nullptr && f->live.Lookup(key)) {
+        below_live = true;
+      } else if (f != nullptr && f->dead.Lookup(key)) {
+        below_live = false;
+      } else {
+        below_live = b->Lookup(key).has_value();
+      }
+      if (av) {
+        // Tombstone first, then unpublish: a reader that misses `live`
+        // must already see `dead`.
+        if (below_live) a->dead.Insert(*av);
+        a->live.Remove(key);
+      } else {
+        if (a->dead.Lookup(key)) return false;  // already deleted here
+        if (!below_live) return false;          // absent everywhere
+        std::optional<uint64_t> under =
+            f != nullptr ? f->live.Lookup(key) : std::nullopt;
+        if (!under) under = b->Lookup(key);
+        a->dead.Insert(*under);
+      }
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      trigger = ShouldMergeLocked(a);
+    }
+    if (trigger) TriggerMerge();
+    return true;
+  }
+
+  // Bulk-builds the immutable base with the parallel bulk loader.  The
+  // index must be empty (same contract as HotTrie::BulkLoad).
+  void BulkLoad(const uint64_t* values, size_t n) {
+    std::lock_guard<std::mutex> lk(writers_);
+    assert(empty() && "BulkLoad requires an empty index");
+    base_.load(std::memory_order_relaxed)->BulkLoad(values, n,
+                                                    RebuildThreads());
+    size_.store(n, std::memory_order_relaxed);
+  }
+  void BulkLoad(const std::vector<uint64_t>& values) {
+    BulkLoad(values.data(), values.size());
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+  MemoryCounter* counter() const { return counter_; }
+  const KeyExtractor& extractor() const { return extractor_; }
+
+  // --- merge control ----------------------------------------------------------
+
+  // Step 1 of a merge: unlink the active delta as the frozen generation and
+  // install a fresh one.  Returns false if a generation is already frozen
+  // or the delta is empty.  Public so tests can hold the index mid-merge;
+  // the background path drives it internally.
+  bool FreezeDelta() {
+    std::lock_guard<std::mutex> lk(writers_);
+    if (frozen_.load(std::memory_order_relaxed) != nullptr) return false;
+    Delta* a = active_.load(std::memory_order_relaxed);
+    if (a->entries() == 0) return false;
+    Delta* fresh = new Delta(extractor_, counter_);
+    // Readers load active before frozen: the frozen pointer must be
+    // published before the (empty) replacement hides the data behind it.
+    frozen_.store(a, std::memory_order_release);
+    active_.store(fresh, std::memory_order_release);
+    return true;
+  }
+
+  // Step 2: drain the frozen generation into a rebuilt base and swap it in.
+  // Readers never block; the superseded base and delta are epoch-retired.
+  void CompleteMerge() {
+    Delta* f = frozen_.load(std::memory_order_acquire);
+    if (f == nullptr) return;
+    Base* old_base = base_.load(std::memory_order_acquire);
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Drain in key order.  Both structures are immutable here: the frozen
+    // generation since FreezeDelta, the base since it was built.
+    std::vector<uint64_t> live, dead, bvals;
+    live.reserve(f->live.size());
+    f->live.ForEachLeaf([&](unsigned, uint64_t v) { live.push_back(v); });
+    dead.reserve(f->dead.size());
+    f->dead.ForEachLeaf([&](unsigned, uint64_t v) { dead.push_back(v); });
+    bvals.reserve(old_base->size());
+    old_base->ForEachLeaf([&](unsigned, uint64_t v) { bvals.push_back(v); });
+
+    std::vector<uint64_t> merged;
+    merged.reserve(bvals.size() + live.size());
+    size_t i = 0, j = 0, k = 0;
+    while (i < bvals.size() || j < live.size()) {
+      int c;
+      if (j == live.size()) {
+        c = -1;
+      } else if (i == bvals.size()) {
+        c = 1;
+      } else {
+        KeyScratch sb, sl;
+        c = extractor_(bvals[i], sb).Compare(extractor_(live[j], sl));
+      }
+      if (c >= 0) {
+        // Delta value wins; on equality it shadows the stale base copy.
+        merged.push_back(live[j++]);
+        if (c == 0) ++i;
+        continue;
+      }
+      // Base candidate: tombstoned keys are dropped.  Tombstone keys are
+      // always base keys (a tombstone is only written when an older layer
+      // would resurface the key), so a sorted sweep of `dead` suffices.
+      KeyScratch sb;
+      KeyRef bk = extractor_(bvals[i], sb);
+      bool skip = false;
+      while (k < dead.size()) {
+        KeyScratch sd;
+        int cd = extractor_(dead[k], sd).Compare(bk);
+        if (cd > 0) break;
+        ++k;
+        if (cd == 0) {
+          skip = true;
+          break;
+        }
+      }
+      if (!skip) merged.push_back(bvals[i]);
+      ++i;
+    }
+
+    Base* nb = new Base(extractor_, counter_);
+    nb->BulkLoad(merged.data(), merged.size(), RebuildThreads());
+    auto t1 = std::chrono::steady_clock::now();
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+
+    {
+      // The swap serializes with writers so their layer resolution stays
+      // stable across one operation.  Order for lock-free readers: new
+      // base first, then drop the frozen pointer — a reader that sees
+      // frozen == null is guaranteed the merged base.
+      std::lock_guard<std::mutex> lk(writers_);
+      base_.store(nb, std::memory_order_release);
+      frozen_.store(nullptr, std::memory_order_release);
+    }
+    last_rebuild_ns_.store(ns, std::memory_order_relaxed);
+    last_rebuild_keys_.store(merged.size(), std::memory_order_relaxed);
+    rebuild_ns_total_.fetch_add(ns, std::memory_order_relaxed);
+    merges_.fetch_add(1, std::memory_order_relaxed);
+
+    epochs_.Retire(old_base, [](void* p) { delete static_cast<Base*>(p); });
+    epochs_.Retire(f, [](void* p) { delete static_cast<Delta*>(p); });
+    // Two epoch advances make both reclaimable as soon as the readers that
+    // were pinned at retire time leave (they are whole trees, not nodes —
+    // waiting for the default threshold would hold megabytes in limbo).
+    epochs_.AdvanceAndCollect();
+    epochs_.AdvanceAndCollect();
+  }
+
+  // Runs a full merge cycle synchronously, waiting out any in-flight
+  // background merge first.  Benches and tests use it to reach a merged,
+  // quiescent state.
+  void ForceMerge() {
+    for (;;) {
+      bool expected = false;
+      if (merge_running_.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (merge_thread_.joinable()) merge_thread_.join();
+    RunMergeCycle();
+    merge_running_.store(false, std::memory_order_release);
+  }
+
+  bool merge_in_flight() const {
+    return merge_running_.load(std::memory_order_acquire);
+  }
+
+  // --- introspection / telemetry ----------------------------------------------
+
+  struct Stats {
+    uint64_t base_entries = 0;
+    uint64_t delta_live = 0;    // active generation
+    uint64_t delta_dead = 0;
+    uint64_t frozen_entries = 0;
+    uint64_t merges = 0;
+    uint64_t last_rebuild_keys = 0;
+    uint64_t last_rebuild_ns = 0;
+    uint64_t rebuild_ns_total = 0;
+    bool merge_in_flight = false;
+  };
+  Stats hybrid_stats() const {
+    Stats s;
+    EpochGuard guard(&epochs_);
+    const Delta* a = active_.load(std::memory_order_acquire);
+    const Delta* f = frozen_.load(std::memory_order_acquire);
+    s.base_entries = base_.load(std::memory_order_acquire)->size();
+    s.delta_live = a->live.size();
+    s.delta_dead = a->dead.size();
+    s.frozen_entries = f != nullptr ? f->entries() : 0;
+    s.merges = merges_.load(std::memory_order_relaxed);
+    s.last_rebuild_keys = last_rebuild_keys_.load(std::memory_order_relaxed);
+    s.last_rebuild_ns = last_rebuild_ns_.load(std::memory_order_relaxed);
+    s.rebuild_ns_total = rebuild_ns_total_.load(std::memory_order_relaxed);
+    s.merge_in_flight = merge_in_flight();
+    return s;
+  }
+
+  // Folded pool counters across all layers (obs/telemetry.h probe).
+  NodePool::Stats pool_stats() const {
+    EpochGuard guard(&epochs_);
+    NodePool::Stats s = base_.load(std::memory_order_acquire)->pool_stats();
+    const Delta* a = active_.load(std::memory_order_acquire);
+    AddStats(&s, a->live.pool_stats());
+    AddStats(&s, a->dead.pool_stats());
+    if (const Delta* f = frozen_.load(std::memory_order_acquire)) {
+      AddStats(&s, f->live.pool_stats());
+      AddStats(&s, f->dead.pool_stats());
+    }
+    return s;
+  }
+  EpochManager* epochs() const { return &epochs_; }
+
+  // Quiescent-only: every compound node across every layer (newest first),
+  // for the node census.  Depths are per-layer.
+  void ForEachNode(
+      const std::function<void(NodeRef, unsigned depth)>& fn) const {
+    const Delta* a = active_.load(std::memory_order_acquire);
+    a->live.ForEachNode(fn);
+    a->dead.ForEachNode(fn);
+    if (const Delta* f = frozen_.load(std::memory_order_acquire)) {
+      f->live.ForEachNode(fn);
+      f->dead.ForEachNode(fn);
+    }
+    base_.load(std::memory_order_acquire)->ForEachNode(fn);
+  }
+
+  // Quiescent-only structural self-check (testing/adapters.h
+  // HasCheckStructure): validates every layer tree, the live-xor-dead
+  // invariant within each generation, and that every tombstone actually
+  // shadows an older live entry.
+  bool CheckStructure(std::string* error) const {
+    const Delta* a = active_.load(std::memory_order_acquire);
+    const Delta* f = frozen_.load(std::memory_order_acquire);
+    const Base* b = base_.load(std::memory_order_acquire);
+    auto check = [&](bool ok, const char* what) {
+      if (!ok && error != nullptr && error->find("hybrid") == std::string::npos) {
+        error->insert(0, std::string("hybrid ") + what + ": ");
+      }
+      return ok;
+    };
+    if (!check(b->Validate(error), "base")) return false;
+    if (!check(a->live.Validate(error), "active-live")) return false;
+    if (!check(a->dead.Validate(error), "active-dead")) return false;
+    if (f != nullptr) {
+      if (!check(f->live.Validate(error), "frozen-live")) return false;
+      if (!check(f->dead.Validate(error), "frozen-dead")) return false;
+    }
+    bool ok = true;
+    auto disjoint = [&](const Delta* d, const char* gen) {
+      d->dead.ForEachLeaf([&](unsigned, uint64_t v) {
+        if (!ok) return;
+        KeyScratch s;
+        KeyRef key = extractor_(v, s);
+        if (d->live.Lookup(key)) {
+          ok = false;
+          if (error != nullptr) {
+            *error = std::string("hybrid ") + gen +
+                     ": key present in both live and dead";
+          }
+        }
+      });
+    };
+    disjoint(a, "active");
+    if (ok && f != nullptr) disjoint(f, "frozen");
+    if (!ok) return false;
+    // Every active tombstone must shadow a live entry in an older layer.
+    a->dead.ForEachLeaf([&](unsigned, uint64_t v) {
+      if (!ok) return;
+      KeyScratch s;
+      KeyRef key = extractor_(v, s);
+      bool below = f != nullptr && f->live.Lookup(key).has_value();
+      if (!below && (f == nullptr || !f->dead.Lookup(key))) {
+        below = b->Lookup(key).has_value();
+      }
+      if (!below) {
+        ok = false;
+        if (error != nullptr) *error = "hybrid: dangling active tombstone";
+      }
+    });
+    return ok;
+  }
+
+ private:
+  // Chunked pull-cursor over one layer's ordered stream: refills via
+  // ScanFrom restarted exclusively after the last delivered key, so it
+  // needs only the shared ScanFrom surface (HotTrie and RowexHotTrie).
+  template <typename Tree>
+  class Cursor {
+    static constexpr size_t kChunk = 32;
+    static_assert(kChunk >= 2, "a skip must leave a valid element");
+
+   public:
+    Cursor(const Tree* tree, const KeyExtractor* ex) : tree_(tree), ex_(ex) {}
+
+    void Seek(KeyRef start) {
+      if (tree_ == nullptr) return;
+      Fill(start, /*inclusive=*/true);
+    }
+    bool valid() const { return pos_ < buf_.size(); }
+    uint64_t value() const { return buf_[pos_]; }
+    KeyRef key(KeyScratch& s) const { return (*ex_)(buf_[pos_], s); }
+    void Next() {
+      ++pos_;
+      if (pos_ >= buf_.size() && !exhausted_) {
+        Fill(KeyRef(last_key_, last_len_), /*inclusive=*/false);
+      }
+    }
+
+   private:
+    void Fill(KeyRef from, bool inclusive) {
+      buf_.clear();
+      pos_ = 0;
+      size_t got = tree_->ScanFrom(from, kChunk,
+                                   [&](uint64_t v) { buf_.push_back(v); });
+      exhausted_ = got < kChunk;
+      // The exclusive-restart skip must run BEFORE last_key_ is updated:
+      // `from` aliases last_key_ on refills.
+      if (!inclusive && !buf_.empty()) {
+        KeyScratch s;
+        if ((*ex_)(buf_[0], s) == from) ++pos_;
+      }
+      if (!buf_.empty()) {
+        KeyScratch s;
+        KeyRef last = (*ex_)(buf_.back(), s);
+        last_len_ = last.size();
+        std::memcpy(last_key_, last.data(), last_len_);
+      }
+    }
+
+    const Tree* tree_;
+    const KeyExtractor* ex_;
+    std::vector<uint64_t> buf_;
+    size_t pos_ = 0;
+    bool exhausted_ = true;
+    uint8_t last_key_[kMaxKeyBytes];
+    size_t last_len_ = 0;
+  };
+
+  static void AddStats(NodePool::Stats* into, const NodePool::Stats& s) {
+    into->hits += s.hits;
+    into->carves += s.carves;
+    into->steals += s.steals;
+    for (size_t i = 0; i < NodePool::kStripes; ++i) {
+      into->stripe_carves[i] += s.stripe_carves[i];
+    }
+  }
+
+  // Current live value of `key` across all layers.  Writer-side only
+  // (under writers_, so the layer set is stable).
+  std::optional<uint64_t> LiveValueLocked(KeyRef key, Delta* a) const {
+    if (auto v = a->live.Lookup(key)) return v;
+    if (a->dead.Lookup(key)) return std::nullopt;
+    if (Delta* f = frozen_.load(std::memory_order_relaxed)) {
+      if (auto v = f->live.Lookup(key)) return v;
+      if (f->dead.Lookup(key)) return std::nullopt;
+    }
+    return base_.load(std::memory_order_relaxed)->Lookup(key);
+  }
+
+  bool ShouldMergeLocked(Delta* a) const {
+    if (frozen_.load(std::memory_order_relaxed) != nullptr) return false;
+    size_t threshold = std::max(
+        opts_.min_delta,
+        static_cast<size_t>(
+            opts_.ratio *
+            static_cast<double>(
+                base_.load(std::memory_order_relaxed)->size())));
+    return a->entries() >= threshold;
+  }
+
+  unsigned RebuildThreads() const {
+    return opts_.rebuild_threads != 0
+               ? opts_.rebuild_threads
+               : std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  void RunMergeCycle() {
+    if (FreezeDelta()) CompleteMerge();
+  }
+
+  void TriggerMerge() {
+    bool expected = false;
+    if (!merge_running_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      return;  // a cycle is already running; the next write re-checks
+    }
+    if (opts_.background) {
+      // Reap the previous (finished) thread before reusing the handle.
+      if (merge_thread_.joinable()) merge_thread_.join();
+      merge_thread_ = std::thread([this] {
+        RunMergeCycle();
+        merge_running_.store(false, std::memory_order_release);
+      });
+    } else {
+      RunMergeCycle();
+      merge_running_.store(false, std::memory_order_release);
+    }
+  }
+
+  KeyExtractor extractor_;
+  MemoryCounter* counter_;
+  MergeOptions opts_;
+  mutable EpochManager epochs_;
+  std::atomic<Base*> base_;
+  std::atomic<Delta*> active_;
+  std::atomic<Delta*> frozen_{nullptr};
+  std::mutex writers_;
+  std::atomic<size_t> size_{0};
+
+  std::atomic<bool> merge_running_{false};
+  std::thread merge_thread_;
+  std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> last_rebuild_ns_{0};
+  std::atomic<uint64_t> last_rebuild_keys_{0};
+  std::atomic<uint64_t> rebuild_ns_total_{0};
+};
+
+}  // namespace hot
+
+#endif  // HOT_HOT_HYBRID_H_

@@ -33,6 +33,7 @@
 #ifndef HOT_HOT_NODE_POOL_H_
 #define HOT_HOT_NODE_POOL_H_
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -52,10 +53,44 @@ class NodePool {
   static constexpr size_t kGranularity = 16;
   static constexpr size_t kMaxPooledBytes = 1024;
   static constexpr size_t kChunkBytes = 1 << 18;
-  static constexpr size_t kStripes = 8;      // power of two
+  static constexpr size_t kStripes = 16;     // power of two
   static constexpr size_t kStealBatch = 16;  // blocks migrated per steal
 
   explicit NodePool(MemoryCounter* counter) : counter_(counter) {}
+
+  // Explicit-stripe allocator handle.  The default AllocateAligned picks a
+  // stripe from CurrentThreadIndex at every call; a StripeRef pins one
+  // stripe for its whole lifetime, which is what the bulk builder needs —
+  // every node of a build (or of one parallel worker's subtrie) lands in
+  // the same bump arena, first-touched by the building thread, with zero
+  // stripe aliasing between workers.  Satisfies the same Alloc interface
+  // as NodePool itself (AllocateAligned / FreeAligned / counter), so
+  // Encode / AllocateNode / FreeNode take either interchangeably.
+  class StripeRef {
+   public:
+    void* AllocateAligned(size_t bytes, size_t alignment) {
+      return pool_->AllocateAlignedInStripe(bytes, alignment, idx_);
+    }
+    void FreeAligned(void* ptr, size_t bytes, size_t alignment) {
+      pool_->FreeAlignedInStripe(ptr, bytes, alignment, idx_);
+    }
+    MemoryCounter* counter() const { return pool_->counter(); }
+    size_t index() const { return idx_; }
+
+   private:
+    friend class NodePool;
+    StripeRef(NodePool* pool, size_t idx) : pool_(pool), idx_(idx) {}
+    NodePool* pool_;
+    size_t idx_;
+  };
+
+  // The stripe the calling thread would use implicitly, pinned.
+  StripeRef CallerStripe() {
+    return StripeRef(this, CurrentThreadIndex() & (kStripes - 1));
+  }
+  // A specific stripe (mod kStripes) — parallel bulk workers take
+  // StripeAt(worker_id) so distinct workers never share a stripe.
+  StripeRef StripeAt(size_t i) { return StripeRef(this, i & (kStripes - 1)); }
 
   ~NodePool() {
     for (void* chunk : chunks_) std::free(chunk);
@@ -65,12 +100,24 @@ class NodePool {
   NodePool& operator=(const NodePool&) = delete;
 
   void* AllocateAligned(size_t bytes, size_t alignment) {
+    return AllocateAlignedInStripe(bytes, alignment,
+                                   CurrentThreadIndex() & (kStripes - 1));
+  }
+
+  void FreeAligned(void* ptr, size_t bytes, size_t alignment) {
+    FreeAlignedInStripe(ptr, bytes, alignment,
+                        CurrentThreadIndex() & (kStripes - 1));
+  }
+
+  void* AllocateAlignedInStripe(size_t bytes, size_t alignment,
+                                size_t stripe) {
     assert(alignment <= kGranularity);
     (void)alignment;
+    assert(stripe < kStripes);
     AllocFaultInjector::MaybeFail();
     size_t cls = ClassOf(bytes);
     size_t rounded = cls * kGranularity;
-    Stripe& home = stripes_[CurrentThreadIndex() & (kStripes - 1)];
+    Stripe& home = stripes_[stripe];
 
     void* block = PopLocal(home, cls);
     if (block == nullptr) block = StealFromSiblings(home, cls);
@@ -84,12 +131,14 @@ class NodePool {
     return block;
   }
 
-  void FreeAligned(void* ptr, size_t bytes, size_t alignment) {
+  void FreeAlignedInStripe(void* ptr, size_t bytes, size_t alignment,
+                           size_t stripe) {
     (void)alignment;
     if (ptr == nullptr) return;
+    assert(stripe < kStripes);
     size_t cls = ClassOf(bytes);
     if (counter_ != nullptr) counter_->OnFree(cls * kGranularity);
-    Stripe& home = stripes_[CurrentThreadIndex() & (kStripes - 1)];
+    Stripe& home = stripes_[stripe];
     SpinGuard guard(&home.lock);
     *static_cast<void**>(ptr) = home.free_heads[cls];
     home.free_heads[cls] = ptr;
@@ -108,16 +157,29 @@ class NodePool {
   // whose blocks were recycled by a *different* thread's stripe — the
   // produce-here/free-there migration signal).  Zero with HOT_STATS=OFF.
   struct Stats {
-    uint64_t hits;
-    uint64_t carves;
-    uint64_t steals;
+    uint64_t hits = 0;
+    uint64_t carves = 0;
+    uint64_t steals = 0;
+    // Per-stripe arena carves: with stripe-pinned parallel bulk workers the
+    // carve counts spread across the worker stripes (the checkable form of
+    // the first-touch claim); a single-threaded build concentrates in one.
+    std::array<uint64_t, kStripes> stripe_carves = {};
+
+    // Stripes that carved at least one arena block.
+    size_t ActiveStripes() const {
+      size_t n = 0;
+      for (uint64_t c : stripe_carves) n += c != 0;
+      return n;
+    }
   };
   Stats stats() const {
-    Stats s{0, 0, 0};
-    for (const Stripe& st : stripes_) {
+    Stats s;
+    for (size_t i = 0; i < kStripes; ++i) {
+      const Stripe& st = stripes_[i];
       s.hits += st.hits.value();
       s.carves += st.carves.value();
       s.steals += st.steals.value();
+      s.stripe_carves[i] = st.carves.value();
     }
     return s;
   }

@@ -72,18 +72,23 @@ class HotTrie {
   std::optional<uint64_t> Upsert(uint64_t value);
 
   // Bulk-builds a height-optimized trie from values sorted ascending by
-  // extracted key and duplicate-free (hot/bulk_load.h).  The trie must be
-  // empty.  Guarantees height <= ceil(log_32 n) + 1 for any distribution
-  // (usually exactly ceil) and maximally filled nodes — including the
-  // monotone orders that degrade incremental insertion.
-  void BulkLoad(const uint64_t* values, size_t n) {
+  // extracted key and duplicate-free (hot/bulk_load.h); duplicates are
+  // rejected with std::invalid_argument.  The trie must be empty.
+  // Guarantees height <= ceil(log_32 n) + 1 for any distribution (usually
+  // exactly ceil) and maximally filled nodes — including the monotone
+  // orders that degrade incremental insertion.
+  //
+  // With threads > 1 the input is partitioned at BiNode-consistent cuts and
+  // the subtrie pieces are built on worker threads through disjoint node-
+  // pool stripes, then grafted serially — same logical structure (nodes,
+  // heights, key→value map) as the single-threaded build.
+  void BulkLoad(const uint64_t* values, size_t n, unsigned threads = 1) {
     assert(empty() && "BulkLoad requires an empty trie");
-    detail::BulkBuilder<KeyExtractor> builder(extractor_, values, n, alloc_);
-    root_ = builder.Build();
+    root_ = detail::ParallelBulkBuild(extractor_, values, n, alloc_, threads);
     size_ = n;
   }
-  void BulkLoad(const std::vector<uint64_t>& values) {
-    BulkLoad(values.data(), values.size());
+  void BulkLoad(const std::vector<uint64_t>& values, unsigned threads = 1) {
+    BulkLoad(values.data(), values.size(), threads);
   }
 
   // Removes the entry for `key`.  Returns false if absent.

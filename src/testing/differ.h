@@ -33,6 +33,7 @@
 #include "btree/btree.h"
 #include "common/extractors.h"
 #include "common/key.h"
+#include "hot/hybrid.h"
 #include "hot/rowex.h"
 #include "hot/trie.h"
 #include "masstree/masstree.h"
@@ -53,6 +54,22 @@ template <typename Ex>
 using RangeShardedHot = ycsb::RangeShardedIndex<HotTrie<Ex>, Ex>;
 template <typename Ex>
 using RangeShardedRowex = ycsb::RangeShardedIndex<RowexHotTrie<Ex>, Ex>;
+
+// Hybrid static/delta index under differential test, tuned for traces:
+// merges run inline on the writer (deterministic — no background thread
+// racing the audit walks) with a small trigger so even short traces cross
+// several freeze/rebuild cycles, and a capped rebuild width so sanitizer
+// runs don't fork wide thread pools per trace.
+template <typename Ex>
+class DifferHybrid : public HybridHotIndex<Ex> {
+ public:
+  explicit DifferHybrid(Ex extractor = Ex())
+      : HybridHotIndex<Ex>(extractor, nullptr,
+                           typename HybridHotIndex<Ex>::MergeOptions{
+                               /*min_delta=*/512, /*ratio=*/0.5,
+                               /*rebuild_threads=*/2, /*background=*/false}) {
+  }
+};
 
 struct DiffOptions {
   bool deep_audit = true;    // run audit.h / CheckStructure at audit ops
@@ -77,8 +94,9 @@ struct DiffResult {
 // The index-under-test kinds: the five single-tree indexes plus the
 // range-sharded HOT wrappers (16 default shards, cross-shard scans).
 inline constexpr const char* kIndexNames[] = {
-    "hot", "rowex", "art", "masstree", "btree", "hot-rs", "rowex-rs"};
-inline constexpr unsigned kNumIndexes = 7;
+    "hot", "rowex", "art", "masstree", "btree", "hot-rs", "rowex-rs",
+    "hybrid"};
+inline constexpr unsigned kNumIndexes = 8;
 
 namespace detail {
 
@@ -534,8 +552,8 @@ DiffResult RunTraceOn(const Trace& trace, const DiffOptions& opts = {}) {
 }
 
 // Name-dispatched variant ("hot", "rowex", "art", "masstree", "btree",
-// "hot-rs", "rowex-rs").  Returns false from *known if the name is not an
-// index.
+// "hot-rs", "rowex-rs", "hybrid").  Returns false from *known if the name
+// is not an index.
 inline DiffResult RunTraceOnIndex(const std::string& index_name,
                                   const Trace& trace,
                                   const DiffOptions& opts = {},
@@ -550,6 +568,7 @@ inline DiffResult RunTraceOnIndex(const std::string& index_name,
   if (index_name == "rowex-rs") {
     return RunTraceOn<RangeShardedRowex>(trace, opts);
   }
+  if (index_name == "hybrid") return RunTraceOn<DifferHybrid>(trace, opts);
   if (known != nullptr) *known = false;
   DiffResult res;
   res.ok = false;

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "common/rng.h"
 #include "hot/stats.h"
 #include "hot/trie.h"
+#include "testing/keyspace.h"
 #include "ycsb/datasets.h"
 
 namespace hot {
@@ -165,6 +167,141 @@ TEST(BulkLoad, MutableAfterwards) {
   std::string err;
   ASSERT_TRUE(trie.Validate(&err)) << err;
   EXPECT_EQ(trie.size(), oracle.size());
+}
+
+// --- parallel bulk build ----------------------------------------------------
+
+// The parallel builder severs the input at BiNode-consistent boundaries and
+// builds the pieces on worker threads, so the logical structure it grafts
+// together is IDENTICAL to the serial bottom-up build — not merely
+// equivalent.  Checked here as (depth, value) leaf-walk parity plus a node
+// census match, across every keyspace generator family (including the
+// span-boundary-adversarial multi-mask ones) and across thread counts that
+// do and do not divide the piece count evenly.
+template <typename Ex>
+void ExpectSameTrie(HotTrie<Ex>& serial, HotTrie<Ex>& parallel,
+                    const char* what) {
+  ASSERT_EQ(serial.size(), parallel.size()) << what;
+  std::string err;
+  ASSERT_TRUE(parallel.Validate(&err)) << what << ": " << err;
+  std::vector<std::pair<unsigned, uint64_t>> sl, pl;
+  sl.reserve(serial.size());
+  pl.reserve(parallel.size());
+  serial.ForEachLeaf([&](unsigned d, uint64_t v) { sl.emplace_back(d, v); });
+  parallel.ForEachLeaf([&](unsigned d, uint64_t v) { pl.emplace_back(d, v); });
+  ASSERT_EQ(sl, pl) << what << ": leaf walk (depth,value) parity";
+  DepthStats ss = ComputeDepthStats(serial);
+  DepthStats ps = ComputeDepthStats(parallel);
+  EXPECT_EQ(ss.max, ps.max) << what;
+  NodeCensus sc = ComputeNodeCensus(serial);
+  NodeCensus pc = ComputeNodeCensus(parallel);
+  EXPECT_EQ(sc.nodes, pc.nodes) << what;
+  EXPECT_EQ(sc.total_entries, pc.total_entries) << what;
+  for (size_t t = 0; t < kNumNodeTypes; ++t) {
+    EXPECT_EQ(sc.count_by_type[t], pc.count_by_type[t])
+        << what << ": layout " << t;
+  }
+}
+
+class ParallelBulkLoadKindTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelBulkLoadKindTest, MatchesSerialAcrossThreadCounts) {
+  auto kind = static_cast<testing::KeySpaceKind>(GetParam());
+  testing::KeySpace ks = testing::BuildKeySpace(kind, 60000, 77);
+  const std::vector<uint64_t>& values = ks.SortedValues();
+  ASSERT_FALSE(values.empty());
+  for (unsigned threads : {2u, 3u, 8u}) {
+    std::string what = std::string(testing::KeySpaceKindName(kind)) + " t=" +
+                       std::to_string(threads);
+    if (ks.is_string) {
+      StringTableExtractor ex(&ks.strings);
+      HotTrie<StringTableExtractor> serial{ex}, parallel{ex};
+      serial.BulkLoad(values.data(), values.size());
+      parallel.BulkLoad(values.data(), values.size(), threads);
+      ExpectSameTrie(serial, parallel, what.c_str());
+      for (const auto& s : ks.strings) {
+        ASSERT_TRUE(parallel.Lookup(TerminatedView(s)).has_value()) << what;
+      }
+    } else {
+      HotTrie<U64KeyExtractor> serial, parallel;
+      serial.BulkLoad(values.data(), values.size());
+      parallel.BulkLoad(values.data(), values.size(), threads);
+      ExpectSameTrie(serial, parallel, what.c_str());
+      for (uint64_t v : values) {
+        ASSERT_TRUE(parallel.Lookup(U64Key(v).ref()).has_value()) << what;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ParallelBulkLoadKindTest,
+    ::testing::Range(0u, testing::kNumKeySpaceKinds),
+    [](const ::testing::TestParamInfo<unsigned>& info) {
+      std::string name = testing::KeySpaceKindName(
+          static_cast<testing::KeySpaceKind>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ParallelBulkLoad, SmallInputsFallBackToSerial) {
+  // Below the parallel grain the threaded entry point must produce the
+  // same trie via the serial path (including n = 0 and n = 1).
+  for (size_t n : {0ul, 1ul, 31ul, 1024ul}) {
+    std::vector<uint64_t> values = SortedRandom(n, 101 + n);
+    HotTrie<U64KeyExtractor> serial, parallel;
+    serial.BulkLoad(values.data(), values.size());
+    parallel.BulkLoad(values.data(), values.size(), 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    if (n > 0) {
+      ExpectSameTrie(serial, parallel, "small");
+    }
+  }
+}
+
+TEST(ParallelBulkLoad, ThreadCountsBeyondStripesAndPieces) {
+  // More threads than NodePool stripes or than built pieces must clamp,
+  // not crash or skew the result.
+  std::vector<uint64_t> values = SortedRandom(50000, 23);
+  HotTrie<U64KeyExtractor> serial, parallel;
+  serial.BulkLoad(values);
+  parallel.BulkLoad(values, /*threads=*/64);
+  ExpectSameTrie(serial, parallel, "t=64");
+}
+
+TEST(BulkLoad, RejectsDuplicateKeys) {
+  // Bulk loading requires strictly ascending keys; duplicates are caught
+  // deterministically (equal adjacent keys can never be severed apart, so
+  // they always reach a shared Mismatch computation) on the serial and the
+  // parallel path alike.
+  std::vector<uint64_t> values = SortedRandom(4000, 31);
+  values.insert(values.begin() + 1711, values[1711]);
+  HotTrie<U64KeyExtractor> serial;
+  EXPECT_THROW(serial.BulkLoad(values), std::invalid_argument);
+  HotTrie<U64KeyExtractor> parallel;
+  EXPECT_THROW(parallel.BulkLoad(values, 4), std::invalid_argument);
+  // A small duplicated input (single-node path) is rejected too.
+  std::vector<uint64_t> tiny = {5, 9, 9, 12};
+  HotTrie<U64KeyExtractor> small;
+  EXPECT_THROW(small.BulkLoad(tiny), std::invalid_argument);
+}
+
+TEST(ParallelBulkLoad, PinnedStripesSpreadCarves) {
+  // Worker w allocates through stripe w: a parallel build at 4 threads on
+  // enough keys must carve from >= 2 distinct stripes, and the builder
+  // itself must stay pinned (no mid-build stripe migration), which shows
+  // up as every carve landing in the first `threads` stripes plus the
+  // serial grafting stripe.
+  std::vector<uint64_t> values = SortedRandom(200000, 41);
+  HotTrie<U64KeyExtractor> parallel;
+  parallel.BulkLoad(values, 4);
+  NodePool::Stats stats = parallel.pool_stats();
+  EXPECT_GE(stats.ActiveStripes(), 2u);
+  uint64_t total = 0;
+  for (uint64_t c : stats.stripe_carves) total += c;
+  EXPECT_EQ(total, stats.carves);
 }
 
 }  // namespace

@@ -1,0 +1,301 @@
+// Tests for the hybrid static/delta index (hot/hybrid.h): delta-then-base
+// lookup and merged-scan parity against oracles, tombstone semantics over a
+// bulk-built base, the freeze → drain → rebuild → swap merge cycle
+// (including parity probed in the mid-merge frozen state), automatic
+// trigger behaviour, telemetry surfacing, and the differ integration that
+// replays fuzz traces against the Patricia oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/rng.h"
+#include "hot/hybrid.h"
+#include "obs/telemetry.h"
+#include "testing/differ.h"
+#include "testing/trace.h"
+
+namespace hot {
+namespace {
+
+using Hybrid = HybridHotIndex<U64KeyExtractor>;
+using Options = Hybrid::MergeOptions;
+
+Options InlineOptions(size_t min_delta = 256) {
+  Options o;
+  o.min_delta = min_delta;
+  o.ratio = 0.25;
+  o.rebuild_threads = 2;
+  o.background = false;
+  return o;
+}
+
+std::vector<uint64_t> SortedRandom(size_t n, uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::set<uint64_t> dedup;
+  while (dedup.size() < n) dedup.insert(rng.Next() >> 1);
+  return {dedup.begin(), dedup.end()};
+}
+
+// Full ordered scan of the index, for oracle comparison.
+std::vector<uint64_t> FullScan(const Hybrid& idx) {
+  std::vector<uint64_t> out;
+  idx.ScanFrom(U64Key(0).ref(), idx.size() + 16,
+               [&](uint64_t v) { out.push_back(v); });
+  return out;
+}
+
+std::vector<uint64_t> OracleValues(const std::map<uint64_t, uint64_t>& m) {
+  std::vector<uint64_t> out;
+  out.reserve(m.size());
+  for (const auto& [k, v] : m) out.push_back(v);
+  return out;
+}
+
+TEST(Hybrid, BasicOpsAndScan) {
+  Hybrid idx(U64KeyExtractor(), nullptr, InlineOptions(1 << 20));
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.Insert(10));
+  EXPECT_FALSE(idx.Insert(10));
+  EXPECT_TRUE(idx.Insert(30));
+  EXPECT_TRUE(idx.Insert(20));
+  EXPECT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.Lookup(U64Key(20).ref()), std::optional<uint64_t>(20));
+  EXPECT_FALSE(idx.Lookup(U64Key(25).ref()).has_value());
+  EXPECT_EQ(FullScan(idx), (std::vector<uint64_t>{10, 20, 30}));
+  EXPECT_TRUE(idx.Remove(U64Key(20).ref()));
+  EXPECT_FALSE(idx.Remove(U64Key(20).ref()));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(FullScan(idx), (std::vector<uint64_t>{10, 30}));
+  std::string err;
+  EXPECT_TRUE(idx.CheckStructure(&err)) << err;
+}
+
+TEST(Hybrid, TombstonesOverBulkBuiltBase) {
+  std::vector<uint64_t> values = SortedRandom(20000, 7);
+  Hybrid idx(U64KeyExtractor(), nullptr, InlineOptions(1 << 20));
+  idx.BulkLoad(values);
+  EXPECT_EQ(idx.size(), values.size());
+  auto s = idx.hybrid_stats();
+  EXPECT_EQ(s.base_entries, values.size());
+  EXPECT_EQ(s.delta_live + s.delta_dead, 0u);
+
+  // Remove a base-resident key: the delta absorbs a tombstone.
+  uint64_t victim = values[12345];
+  EXPECT_TRUE(idx.Remove(U64Key(victim).ref()));
+  EXPECT_FALSE(idx.Lookup(U64Key(victim).ref()).has_value());
+  EXPECT_FALSE(idx.Remove(U64Key(victim).ref()));
+  s = idx.hybrid_stats();
+  EXPECT_EQ(s.delta_dead, 1u);
+  EXPECT_EQ(s.base_entries, values.size());  // base untouched
+
+  // The merged scan suppresses it.
+  std::vector<uint64_t> around;
+  idx.ScanFrom(U64Key(values[12344]).ref(), 3,
+               [&](uint64_t v) { around.push_back(v); });
+  ASSERT_EQ(around.size(), 3u);
+  EXPECT_EQ(around[0], values[12344]);
+  EXPECT_EQ(around[1], values[12346]);  // 12345 skipped
+  EXPECT_EQ(around[2], values[12347]);
+
+  // Re-insert revives it and clears the tombstone.
+  EXPECT_TRUE(idx.Insert(victim));
+  EXPECT_EQ(idx.Lookup(U64Key(victim).ref()), std::optional<uint64_t>(victim));
+  s = idx.hybrid_stats();
+  EXPECT_EQ(s.delta_dead, 0u);
+  EXPECT_EQ(s.delta_live, 1u);
+  EXPECT_EQ(idx.size(), values.size());
+  std::string err;
+  EXPECT_TRUE(idx.CheckStructure(&err)) << err;
+}
+
+TEST(Hybrid, MergeCycleDrainsDeltaIntoBase) {
+  std::vector<uint64_t> values = SortedRandom(10000, 13);
+  Hybrid idx(U64KeyExtractor(), nullptr, InlineOptions(1 << 20));
+  idx.BulkLoad(values);
+  std::map<uint64_t, uint64_t> oracle;
+  for (uint64_t v : values) oracle[v] = v;
+
+  SplitMix64 rng(29);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t v = rng.Next() >> 1;
+    EXPECT_EQ(idx.Insert(v), oracle.emplace(v, v).second);
+    if (i % 3 == 0) {
+      uint64_t r = values[rng.NextBounded(values.size())];
+      EXPECT_EQ(idx.Remove(U64Key(r).ref()), oracle.erase(r) > 0);
+    }
+  }
+  ASSERT_EQ(idx.size(), oracle.size());
+
+  idx.ForceMerge();
+  auto s = idx.hybrid_stats();
+  EXPECT_EQ(s.merges, 1u);
+  EXPECT_EQ(s.delta_live + s.delta_dead, 0u);
+  EXPECT_EQ(s.frozen_entries, 0u);
+  EXPECT_EQ(s.base_entries, oracle.size());
+  EXPECT_EQ(s.last_rebuild_keys, oracle.size());
+  EXPECT_GT(s.last_rebuild_ns, 0u);
+  EXPECT_EQ(FullScan(idx), OracleValues(oracle));
+  std::string err;
+  EXPECT_TRUE(idx.CheckStructure(&err)) << err;
+}
+
+TEST(Hybrid, MidMergeSnapshotStaysConsistent) {
+  // Freeze the delta and probe every read path while the frozen generation
+  // is live — the state a background merge exposes to concurrent readers —
+  // then mutate on top (new active generation) and complete the merge.
+  std::vector<uint64_t> values = SortedRandom(5000, 17);
+  Hybrid idx(U64KeyExtractor(), nullptr, InlineOptions(1 << 20));
+  idx.BulkLoad(values);
+  std::map<uint64_t, uint64_t> oracle;
+  for (uint64_t v : values) oracle[v] = v;
+
+  SplitMix64 rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Next() >> 1;
+    idx.Insert(v);
+    oracle.emplace(v, v);
+    if (i % 4 == 0) {
+      uint64_t r = values[rng.NextBounded(values.size())];
+      EXPECT_EQ(idx.Remove(U64Key(r).ref()), oracle.erase(r) > 0);
+    }
+  }
+
+  ASSERT_TRUE(idx.FreezeDelta());
+  EXPECT_FALSE(idx.FreezeDelta());  // one frozen generation at a time
+  auto s = idx.hybrid_stats();
+  EXPECT_GT(s.frozen_entries, 0u);
+
+  // Reads against the three-layer state.
+  EXPECT_EQ(FullScan(idx), OracleValues(oracle));
+  for (int i = 0; i < 200; ++i) {
+    uint64_t probe = values[rng.NextBounded(values.size())];
+    auto want = oracle.count(probe) ? std::optional<uint64_t>(probe)
+                                    : std::nullopt;
+    EXPECT_EQ(idx.Lookup(U64Key(probe).ref()), want);
+  }
+  std::string err;
+  EXPECT_TRUE(idx.CheckStructure(&err)) << err;
+
+  // Writes land in the fresh active generation on top of the frozen one,
+  // including removes of frozen-resident and base-resident keys.
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = rng.Next() >> 1;
+    EXPECT_EQ(idx.Insert(v), oracle.emplace(v, v).second);
+    if (i % 4 == 1) {
+      uint64_t r = values[rng.NextBounded(values.size())];
+      EXPECT_EQ(idx.Remove(U64Key(r).ref()), oracle.erase(r) > 0);
+    }
+  }
+  EXPECT_EQ(FullScan(idx), OracleValues(oracle));
+  EXPECT_TRUE(idx.CheckStructure(&err)) << err;
+
+  idx.CompleteMerge();
+  s = idx.hybrid_stats();
+  EXPECT_EQ(s.frozen_entries, 0u);
+  EXPECT_EQ(s.merges, 1u);
+  EXPECT_EQ(FullScan(idx), OracleValues(oracle));
+  EXPECT_EQ(idx.size(), oracle.size());
+  EXPECT_TRUE(idx.CheckStructure(&err)) << err;
+
+  // A second full cycle folds the post-freeze writes in too.
+  idx.ForceMerge();
+  s = idx.hybrid_stats();
+  EXPECT_EQ(s.merges, 2u);
+  EXPECT_EQ(s.base_entries, oracle.size());
+  EXPECT_EQ(FullScan(idx), OracleValues(oracle));
+}
+
+TEST(Hybrid, AutomaticTriggerKeepsDeltaBounded) {
+  Hybrid idx(U64KeyExtractor(), nullptr, InlineOptions(/*min_delta=*/512));
+  SplitMix64 rng(43);
+  std::set<uint64_t> oracle;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Next() >> 1;
+    ASSERT_EQ(idx.Insert(v), oracle.insert(v).second);
+  }
+  auto s = idx.hybrid_stats();
+  EXPECT_GT(s.merges, 3u);  // several cycles fired along the way
+  // Inline merges: the delta can never exceed the trigger by more than the
+  // writes of one operation.
+  EXPECT_LE(s.delta_live + s.delta_dead,
+            std::max<uint64_t>(512, s.base_entries / 4) + 1);
+  EXPECT_EQ(idx.size(), oracle.size());
+  for (int i = 0; i < 500; ++i) {
+    uint64_t probe = *std::next(oracle.begin(),
+                                static_cast<long>(rng.NextBounded(100)));
+    EXPECT_EQ(idx.Lookup(U64Key(probe).ref()),
+              std::optional<uint64_t>(probe));
+  }
+}
+
+TEST(Hybrid, TelemetryProbeSurfacesHybridStats) {
+  Hybrid idx(U64KeyExtractor(), nullptr, InlineOptions(1 << 20));
+  std::vector<uint64_t> values = SortedRandom(3000, 3);
+  idx.BulkLoad(values);
+  idx.Insert(1);
+  idx.Remove(U64Key(values[7]).ref());
+  obs::TelemetrySnapshot snap = obs::CollectTelemetry(idx);
+  EXPECT_EQ(snap.hybrid_base_entries, values.size());
+  EXPECT_EQ(snap.hybrid_delta_entries, 2u);  // one live + one tombstone
+  EXPECT_EQ(snap.hybrid_merges, 0u);
+  idx.ForceMerge();
+  snap = obs::CollectTelemetry(idx);
+  EXPECT_EQ(snap.hybrid_merges, 1u);
+  EXPECT_EQ(snap.hybrid_delta_entries, 0u);
+  EXPECT_EQ(snap.hybrid_base_entries, values.size());
+  EXPECT_GT(snap.hybrid_last_rebuild_keys, 0u);
+  EXPECT_NE(snap.Summary().find("hybrid_base"), std::string::npos);
+  // The census walked all layers; after the merge it is just the base.
+  EXPECT_GT(snap.census.nodes, 0u);
+}
+
+// Differential fuzzing: the hybrid index is a first-class differ arm.
+// These traces cross several inline merge cycles (DifferHybrid's trigger is
+// 512 delta entries) while the deep audits run CheckStructure and full-scan
+// parity at every audit op.
+TEST(Hybrid, DifferTraceParityInteger) {
+  testing::TraceGenConfig cfg;
+  cfg.kind = testing::KeySpaceKind::kUniform;
+  cfg.n = 4096;
+  cfg.seed = 99;
+  cfg.num_ops = 30000;
+  cfg.audit_every = 5000;
+  testing::Trace trace = testing::GenerateTrace(cfg);
+  testing::DiffResult res = testing::RunTraceOnIndex("hybrid", trace);
+  EXPECT_TRUE(res.ok) << res.Describe();
+}
+
+TEST(Hybrid, DifferTraceParityStrings) {
+  testing::TraceGenConfig cfg;
+  cfg.kind = testing::KeySpaceKind::kUrl;
+  cfg.n = 2048;
+  cfg.seed = 7;
+  cfg.num_ops = 20000;
+  cfg.audit_every = 4000;
+  cfg.zipf_pick = true;  // skewed picking reshapes the delta residency
+  testing::Trace trace = testing::GenerateTrace(cfg);
+  testing::DiffResult res = testing::RunTraceOnIndex("hybrid", trace);
+  EXPECT_TRUE(res.ok) << res.Describe();
+}
+
+TEST(Hybrid, DifferKnowsHybridArm) {
+  bool known = false;
+  testing::Trace empty_trace;
+  empty_trace.ks_n = 16;
+  testing::RunTraceOnIndex("hybrid", empty_trace, {}, &known);
+  EXPECT_TRUE(known);
+  unsigned found = 0;
+  for (unsigned i = 0; i < testing::kNumIndexes; ++i) {
+    if (std::string(testing::kIndexNames[i]) == "hybrid") ++found;
+  }
+  EXPECT_EQ(found, 1u);
+}
+
+}  // namespace
+}  // namespace hot

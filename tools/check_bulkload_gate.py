@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI gate for the parallel bulk-build sweep (bench/ablation_bulkload).
+
+Reads a BENCH_ablation_bulkload.json and fails (exit 1) when the parallel
+bulk build does not actually pay for its partition/graft machinery:
+
+  1. Speedup: on a recording box with >= 4 hardware threads, the best
+     bulk(parallel,t>=4) arm must reach at least --speedup-factor (default
+     1.5) times the t=1 arm.  Single-core recorders physically cannot show
+     parallel speedup — the meta block's `hardware_threads` marks those
+     runs and the speedup check is skipped with a notice (same convention
+     as fig10's single-core caveat).
+
+  2. Overhead: bulk(parallel,t=1) routes through the parallel entry point
+     but takes the serial path, so it must stay within --overhead-factor
+     (default 0.90) of the plain bulk(sorted) arm on every box.  This
+     check always runs; it needs no parallelism.
+
+  3. Quality: every parallel arm must build the identical height profile —
+     same max_depth as bulk(sorted) and bytes/key within 1% — because the
+     BiNode-consistent partitioning is supposed to reproduce the serial
+     tree exactly, not approximate it.
+
+Usage: check_bulkload_gate.py BENCH_ablation_bulkload.json \
+           [--speedup-factor 1.5] [--overhead-factor 0.90] \
+           [--min-hw-threads 4]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path")
+    ap.add_argument("--speedup-factor", type=float, default=1.5)
+    ap.add_argument("--overhead-factor", type=float, default=0.90)
+    ap.add_argument("--min-hw-threads", type=int, default=4,
+                    help="skip the speedup check below this recorded "
+                         "hardware_threads")
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        data = json.load(f)
+    results = data.get("results", [])
+    if not results:
+        print(f"error: no results in {args.json_path}", file=sys.stderr)
+        return 1
+    hw = int(data.get("meta", {}).get("hardware_threads", 0))
+
+    serial = [r for r in results if r["build"] == "bulk(sorted)"]
+    par = [r for r in results if r["build"].startswith("bulk(parallel")]
+    t1 = [r for r in par if r["threads"] == 1]
+    wide = [r for r in par if r["threads"] >= 4]
+    if not serial or not t1 or not wide:
+        print("error: sweep arms missing (need bulk(sorted), t=1 and t>=4 "
+              "parallel rows)", file=sys.stderr)
+        return 1
+    serial, t1 = serial[0], t1[0]
+
+    failures = []
+
+    # 1. Speedup (only meaningful when the recorder had cores to use).
+    best = max(wide, key=lambda r: r["build_mops"])
+    if hw >= args.min_hw_threads:
+        need = args.speedup_factor * t1["build_mops"]
+        verdict = "ok" if best["build_mops"] >= need else "FAIL"
+        print(f"speedup: t=1 {t1['build_mops']:.3f} Mops, best t>=4 "
+              f"{best['build_mops']:.3f} Mops ({best['build']}) "
+              f"need >= {args.speedup_factor:.2f}x -> {verdict}")
+        if verdict == "FAIL":
+            failures.append(
+                f"best parallel build {best['build_mops']:.3f} Mops < "
+                f"{args.speedup_factor:.2f} x t=1 {t1['build_mops']:.3f} "
+                f"Mops on a {hw}-thread box — parallel build is not paying "
+                f"for itself")
+    else:
+        print(f"speedup: recorded on a {hw}-thread box (< "
+              f"{args.min_hw_threads}) — parallel speedup is not "
+              f"physically measurable, check skipped")
+
+    # 2. Single-thread overhead of the parallel entry point.
+    need = args.overhead_factor * serial["build_mops"]
+    verdict = "ok" if t1["build_mops"] >= need else "FAIL"
+    print(f"overhead: bulk(sorted) {serial['build_mops']:.3f} Mops, "
+          f"parallel t=1 {t1['build_mops']:.3f} Mops "
+          f"need >= {args.overhead_factor:.2f}x -> {verdict}")
+    if verdict == "FAIL":
+        failures.append(
+            f"parallel t=1 {t1['build_mops']:.3f} Mops < "
+            f"{args.overhead_factor:.2f} x serial {serial['build_mops']:.3f} "
+            f"Mops — the parallel entry point taxes the serial path")
+
+    # 3. Structural parity: identical height profile, same memory.
+    parity_failures_before = len(failures)
+    for r in par:
+        if r["max_depth"] != serial["max_depth"]:
+            failures.append(
+                f"{r['build']}: max_depth {r['max_depth']} != serial "
+                f"{serial['max_depth']} — partitioned build changed the "
+                f"tree shape")
+        if abs(r["bytes_per_key"] - serial["bytes_per_key"]) > \
+                0.01 * serial["bytes_per_key"]:
+            failures.append(
+                f"{r['build']}: bytes/key {r['bytes_per_key']:.1f} vs "
+                f"serial {serial['bytes_per_key']:.1f} — memory profile "
+                f"diverged")
+    parity_ok = len(failures) == parity_failures_before
+    print(f"parity: {len(par)} parallel arms vs serial "
+          f"max_depth={serial['max_depth']} "
+          f"bytes/key={serial['bytes_per_key']:.1f} -> "
+          f"{'ok' if parity_ok else 'FAIL'}")
+
+    if failures:
+        print("\nbulkload gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbulkload gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
