@@ -1,0 +1,196 @@
+// Append-only record storage behind the network KV front-end, plus the
+// order-preserving escape that maps arbitrary wire keys onto the tries'
+// prefix-free key space.
+//
+// The tries in this repository store 63-bit values and re-derive key bytes
+// through a KeyExtractor (common/extractors.h).  The server therefore keeps
+// every PUT as an immutable record { raw wire key, escaped trie key, u64
+// value } in an append-only arena and indexes the RECORD ID: the extractor
+// returns the escaped key bytes owned by the record, GET resolves id ->
+// value, SCAN resolves id -> (raw key, value).  Overwrites and deletes
+// leave the superseded record behind (log-structured; reclaiming dead
+// records is future work — ServerStats reports live vs appended so the
+// growth is visible).
+//
+// Key escape.  Trie keys must be prefix-free (common/key.h); wire keys are
+// arbitrary bytes, so "append a terminator" alone is not enough ("a\0" vs
+// "a\0\0").  EscapeKey uses the classic memcomparable encoding:
+//
+//   0x00        ->  0x00 0x01
+//   terminator  ->  0x00 0x00
+//
+// The image is prefix-free (0x00 0x00 can only appear as the terminator)
+// and the map preserves lexicographic order, so escaped-key order equals
+// raw-key order and ordered scans over escaped keys yield raw keys in raw
+// order.  Escaped length is raw_len + (#0x00 bytes) + 2; keys whose escaped
+// form exceeds hot::kMaxKeyBytes are rejected before touching the index
+// (protocol kKeyTooLong).
+//
+// Concurrency: appends take a mutex (PUT throughput is bounded by the
+// trie's COW writers anyway); reads are lock-free.  A reader only ever
+// resolves ids it obtained from the index, and the record's bytes are fully
+// written before the id is published through the trie's release store, so
+// the index's own acquire/release synchronization carries the record's
+// visibility (the chunk directory uses acquire/release atomics for the same
+// reason — a reader may enter a chunk its own thread never saw appended).
+
+#ifndef HOT_NET_RECORD_STORE_H_
+#define HOT_NET_RECORD_STORE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/extractors.h"
+#include "common/key.h"
+#include "hot/node.h"  // kMaxKeyBytes
+
+namespace hot {
+namespace net {
+
+// Appends the escaped (prefix-free, order-preserving) form of `raw` to
+// *out.  Returns the number of bytes appended.
+inline size_t EscapeKey(KeyRef raw, std::vector<uint8_t>* out) {
+  size_t before = out->size();
+  for (size_t i = 0; i < raw.size(); ++i) {
+    uint8_t b = raw.data()[i];
+    out->push_back(b);
+    if (b == 0x00) out->push_back(0x01);
+  }
+  out->push_back(0x00);
+  out->push_back(0x00);
+  return out->size() - before;
+}
+
+// Escaped length without materializing: raw length + embedded NULs + 2.
+inline size_t EscapedKeyLength(KeyRef raw) {
+  size_t nuls = 0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw.data()[i] == 0x00) ++nuls;
+  }
+  return raw.size() + nuls + 2;
+}
+
+// Whether `raw` may be indexed at all (escaped form fits the tries'
+// kMaxKeyBytes bound).
+inline bool KeyFitsIndex(KeyRef raw) {
+  return EscapedKeyLength(raw) <= kMaxKeyBytes;
+}
+
+class RecordStore {
+ public:
+  struct Record {
+    uint64_t value;
+    uint32_t raw_len;
+    uint32_t esc_len;
+    const uint8_t* bytes;  // raw_len raw bytes then esc_len escaped bytes
+
+    KeyRef raw_key() const { return KeyRef(bytes, raw_len); }
+    KeyRef escaped_key() const { return KeyRef(bytes + raw_len, esc_len); }
+  };
+
+  RecordStore() = default;
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+
+  // Appends one record; returns its id (dense, starting at 0, < 2^63 —
+  // valid as a trie value).  `raw` must satisfy KeyFitsIndex.
+  uint64_t Append(KeyRef raw, uint64_t value) {
+    assert(KeyFitsIndex(raw));
+    std::lock_guard<std::mutex> guard(append_mu_);
+    uint64_t id = size_.load(std::memory_order_relaxed);
+    size_t chunk = static_cast<size_t>(id / kChunkRecords);
+    assert(chunk < kMaxChunks && "RecordStore capacity exhausted");
+    Chunk* c = chunks_[chunk].load(std::memory_order_relaxed);
+    if (c == nullptr) {
+      c = new Chunk();
+      chunks_[chunk].store(c, std::memory_order_release);
+    }
+    Record& rec = c->records[id % kChunkRecords];
+    // Key bytes live in the chunk-local byte arena when they fit, else in
+    // their own allocation; either way the pointer never moves afterwards.
+    size_t esc_len = EscapedKeyLength(raw);
+    size_t need = raw.size() + esc_len;
+    uint8_t* dst;
+    if (c->bytes_used + need <= kChunkBytes) {
+      dst = c->bytes + c->bytes_used;
+      c->bytes_used += need;
+    } else {
+      c->overflow.push_back(std::make_unique<uint8_t[]>(need));
+      dst = c->overflow.back().get();
+    }
+    if (raw.size() != 0) std::memcpy(dst, raw.data(), raw.size());
+    std::vector<uint8_t> esc;
+    esc.reserve(esc_len);
+    EscapeKey(raw, &esc);
+    std::memcpy(dst + raw.size(), esc.data(), esc.size());
+    rec.value = value;
+    rec.raw_len = static_cast<uint32_t>(raw.size());
+    rec.esc_len = static_cast<uint32_t>(esc.size());
+    rec.bytes = dst;
+    size_.store(id + 1, std::memory_order_relaxed);
+    bytes_.fetch_add(need, std::memory_order_relaxed);
+    return id;
+  }
+
+  // Lock-free; `id` must come from a successful Append whose publication
+  // the caller observed (typically through the index).
+  const Record& At(uint64_t id) const {
+    const Chunk* c = chunks_[static_cast<size_t>(id / kChunkRecords)].load(
+        std::memory_order_acquire);
+    return c->records[id % kChunkRecords];
+  }
+
+  // Appended record count / key-byte footprint (quiescent-only exactness).
+  uint64_t appended() const { return size_.load(std::memory_order_relaxed); }
+  uint64_t key_bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+  ~RecordStore() {
+    for (auto& slot : chunks_) {
+      delete slot.load(std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr size_t kChunkRecords = 1u << 14;  // 16K records per chunk
+  static constexpr size_t kChunkBytes = kChunkRecords * 64;
+  static constexpr size_t kMaxChunks = 1u << 16;  // 2^30 records total
+
+  struct Chunk {
+    Record records[kChunkRecords];
+    uint8_t bytes[kChunkBytes];
+    size_t bytes_used = 0;
+    std::vector<std::unique_ptr<uint8_t[]>> overflow;
+  };
+
+  std::mutex append_mu_;
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+// KeyExtractor over record ids: the indexed key of record `id` is its
+// escaped key, whose bytes the record owns for the store's lifetime.
+class RecordKeyExtractor {
+ public:
+  RecordKeyExtractor() : store_(nullptr) {}
+  explicit RecordKeyExtractor(const RecordStore* store) : store_(store) {}
+
+  KeyRef operator()(uint64_t id, KeyScratch&) const {
+    return store_->At(id).escaped_key();
+  }
+
+  const RecordStore* store() const { return store_; }
+
+ private:
+  const RecordStore* store_;
+};
+
+}  // namespace net
+}  // namespace hot
+
+#endif  // HOT_NET_RECORD_STORE_H_

@@ -1,0 +1,622 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <mutex>
+
+namespace hot {
+namespace net {
+
+namespace {
+
+// epoll_event.data.u64 tags: the two singleton fds get small integers,
+// every connection gets its (pointer-aligned, hence > 1) Conn*.
+constexpr uint64_t kTagEventFd = 0;
+constexpr uint64_t kTagListenFd = 1;
+
+}  // namespace
+
+// --- stats -------------------------------------------------------------------
+
+struct KvServer::AtomicStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> replies_out{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> scan_items{0};
+  std::atomic<uint64_t> batch_drains{0};
+  std::atomic<uint64_t> batched_gets{0};
+  std::atomic<uint64_t> scalar_drains{0};
+  std::atomic<uint64_t> scalar_gets{0};
+  std::atomic<uint64_t> max_batch{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint64_t> keys_too_long{0};
+
+  void MaxBatch(uint64_t n) {
+    uint64_t prev = max_batch.load(std::memory_order_relaxed);
+    while (n > prev && !max_batch.compare_exchange_weak(
+                           prev, n, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+ServerStats KvServer::StatsSnapshot() const {
+  const AtomicStats& a = *stats_;
+  ServerStats s;
+  s.connections_accepted = a.connections_accepted.load();
+  s.connections_closed = a.connections_closed.load();
+  s.frames_in = a.frames_in.load();
+  s.replies_out = a.replies_out.load();
+  s.bytes_in = a.bytes_in.load();
+  s.bytes_out = a.bytes_out.load();
+  s.gets = a.gets.load();
+  s.puts = a.puts.load();
+  s.deletes = a.deletes.load();
+  s.scans = a.scans.load();
+  s.scan_items = a.scan_items.load();
+  s.batch_drains = a.batch_drains.load();
+  s.batched_gets = a.batched_gets.load();
+  s.scalar_drains = a.scalar_drains.load();
+  s.scalar_gets = a.scalar_gets.load();
+  s.max_batch = a.max_batch.load();
+  s.protocol_errors = a.protocol_errors.load();
+  s.bad_requests = a.bad_requests.load();
+  s.keys_too_long = a.keys_too_long.load();
+  return s;
+}
+
+// --- per-connection state ----------------------------------------------------
+
+namespace {
+
+struct Conn {
+  int fd = -1;
+  std::vector<uint8_t> in;    // received, not yet parsed
+  std::vector<uint8_t> out;   // replies not yet written
+  size_t out_off = 0;         // prefix of `out` already written
+  bool want_close = false;    // close once `out` drains (fatal frame error)
+  bool dead = false;          // reaped at end of the loop iteration
+  bool epollout = false;      // EPOLLOUT currently registered
+  bool paused = false;        // EPOLLIN dropped by backpressure
+  bool touched = false;       // queued for the end-of-iteration flush
+
+  size_t pending_out() const { return out.size() - out_off; }
+};
+
+// One queued GET: the escaped key lives in the worker's batch arena (the
+// connection's input buffer is compacted between frames, so the key bytes
+// must be copied out anyway — copying the escaped form kills two birds).
+struct PendingGet {
+  Conn* conn;
+  uint64_t req_id;
+  uint32_t key_off;
+  uint32_t key_len;
+};
+
+}  // namespace
+
+// --- worker ------------------------------------------------------------------
+
+struct KvServer::Worker {
+  KvServer* server = nullptr;
+  unsigned id = 0;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  bool owns_listener = false;
+
+  std::mutex inbox_mu;
+  std::vector<int> inbox;  // fds dealt to this worker by the acceptor
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::vector<PendingGet> pending;
+  std::vector<uint8_t> arena;  // escaped key bytes of `pending`
+  std::vector<KeyRef> batch_keys;
+  std::vector<std::optional<uint64_t>> batch_out;
+  std::vector<uint8_t> esc_scratch;  // escape buffer for inline ops
+  std::vector<Conn*> touched;
+
+  ~Worker() {
+    for (auto& c : conns) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    if (event_fd >= 0) ::close(event_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+
+  bool Init() {
+    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) return false;
+    event_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (event_fd < 0) return false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagEventFd;
+    return epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd, &ev) == 0;
+  }
+
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t rc = ::write(event_fd, &one, sizeof(one));
+    (void)rc;  // EAGAIN just means a wakeup is already pending
+  }
+
+  void Deal(int fd) {
+    {
+      std::lock_guard<std::mutex> guard(inbox_mu);
+      inbox.push_back(fd);
+    }
+    Wake();
+  }
+
+  void Run() {
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    while (server->running_.load(std::memory_order_acquire)) {
+      int n = epoll_wait(epoll_fd, events, kMaxEvents, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        uint64_t tag = events[i].data.u64;
+        if (tag == kTagEventFd) {
+          DrainEventFd();
+        } else if (tag == kTagListenFd) {
+          AcceptAll();
+        } else {
+          Conn* c = reinterpret_cast<Conn*>(tag);
+          if (c->dead) continue;
+          if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+            c->dead = true;
+            continue;
+          }
+          if (events[i].events & EPOLLIN) ReadAndParse(c);
+          if (!c->dead && (events[i].events & EPOLLOUT)) FlushOut(c);
+        }
+      }
+      DrainGets();
+      for (Conn* c : touched) {
+        c->touched = false;
+        if (!c->dead) FlushOut(c);
+      }
+      touched.clear();
+      Reap();
+    }
+  }
+
+  void DrainEventFd() {
+    uint64_t count;
+    while (::read(event_fd, &count, sizeof(count)) > 0) {
+    }
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> guard(inbox_mu);
+      fds.swap(inbox);
+    }
+    for (int fd : fds) Adopt(fd);
+  }
+
+  void Adopt(int fd) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = reinterpret_cast<uint64_t>(conn.get());
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      server->stats_->connections_closed.fetch_add(
+          1, std::memory_order_relaxed);
+      return;
+    }
+    conns.push_back(std::move(conn));
+  }
+
+  void AcceptAll() {
+    while (true) {
+      int fd = accept4(server->listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;  // EAGAIN or a transient error: wait for the next
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      server->stats_->connections_accepted.fetch_add(
+          1, std::memory_order_relaxed);
+      unsigned target =
+          server->next_worker_.fetch_add(1, std::memory_order_relaxed) %
+          static_cast<unsigned>(server->workers_.size());
+      server->workers_[target]->Deal(fd);
+    }
+  }
+
+  void Touch(Conn* c) {
+    if (!c->touched) {
+      c->touched = true;
+      touched.push_back(c);
+    }
+  }
+
+  void ReadAndParse(Conn* c) {
+    char buf[64 * 1024];
+    while (true) {
+      ssize_t n = ::read(c->fd, buf, sizeof(buf));
+      if (n > 0) {
+        server->stats_->bytes_in.fetch_add(static_cast<uint64_t>(n),
+                                           std::memory_order_relaxed);
+        c->in.insert(c->in.end(), buf, buf + n);
+        if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained
+      } else if (n == 0) {
+        c->dead = true;  // peer closed; pending replies are undeliverable
+        return;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        c->dead = true;
+        return;
+      }
+    }
+    ParseFrames(c);
+  }
+
+  void ParseFrames(Conn* c) {
+    size_t consumed_total = 0;
+    const ServerOptions& opt = server->options_;
+    while (!c->want_close) {
+      const uint8_t* body;
+      size_t body_len, consumed;
+      FrameVerdict v =
+          NextFrame(c->in.data() + consumed_total,
+                    c->in.size() - consumed_total, opt.max_frame_body, &body,
+                    &body_len, &consumed);
+      if (v == FrameVerdict::kNeedMore) break;
+      if (v == FrameVerdict::kBadLength) {
+        // The stream cannot be re-synchronized after an invalid length:
+        // reply once (id 0 — the frame never yielded one) and close.
+        server->stats_->protocol_errors.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        EncodeErrorReply(&c->out, 0, kBadFrame, "invalid frame length");
+        server->stats_->replies_out.fetch_add(1, std::memory_order_relaxed);
+        c->want_close = true;
+        Touch(c);
+        break;
+      }
+      server->stats_->frames_in.fetch_add(1, std::memory_order_relaxed);
+      HandleFrame(c, body, body_len);
+      consumed_total += consumed;
+    }
+    if (consumed_total > 0) {
+      c->in.erase(c->in.begin(),
+                  c->in.begin() + static_cast<ptrdiff_t>(consumed_total));
+    }
+    MaybePause(c);
+  }
+
+  void HandleFrame(Conn* c, const uint8_t* body, size_t body_len) {
+    AtomicStats& st = *server->stats_;
+    Request req;
+    std::string perr;
+    ParseVerdict v = ParseRequest(body, body_len, &req, &perr);
+    if (v != ParseVerdict::kParsedOk) {
+      uint8_t status =
+          v == ParseVerdict::kParseKeyTooLong ? kKeyTooLong : kBadRequest;
+      (status == kKeyTooLong ? st.keys_too_long : st.bad_requests)
+          .fetch_add(1, std::memory_order_relaxed);
+      EncodeErrorReply(&c->out, req.id, status, perr);
+      st.replies_out.fetch_add(1, std::memory_order_relaxed);
+      Touch(c);
+      return;
+    }
+    switch (req.op) {
+      case kOpGet: {
+        st.gets.fetch_add(1, std::memory_order_relaxed);
+        // Deferred: queue the ESCAPED key; the end-of-iteration drain
+        // answers every queued GET in one batched descent.
+        uint32_t off = static_cast<uint32_t>(arena.size());
+        EscapeKey(req.key, &arena);
+        uint32_t len = static_cast<uint32_t>(arena.size()) - off;
+        pending.push_back({c, req.id, off, len});
+        Touch(c);
+        break;
+      }
+      case kOpPut: {
+        st.puts.fetch_add(1, std::memory_order_relaxed);
+        if (!KeyFitsIndex(req.key)) {
+          st.keys_too_long.fetch_add(1, std::memory_order_relaxed);
+          EncodeErrorReply(&c->out, req.id, kKeyTooLong,
+                           "escaped key exceeds index limit");
+          st.replies_out.fetch_add(1, std::memory_order_relaxed);
+          Touch(c);
+          break;
+        }
+        uint64_t id = server->store_.Append(req.key, req.value);
+        KeyRef esc = server->store_.At(id).escaped_key();
+        std::optional<uint64_t> prev_id = server->index_->Upsert(id, esc);
+        uint64_t prev =
+            prev_id ? server->store_.At(*prev_id).value : uint64_t{0};
+        EncodePutReply(&c->out, req.id, !prev_id.has_value(), prev);
+        st.replies_out.fetch_add(1, std::memory_order_relaxed);
+        Touch(c);
+        break;
+      }
+      case kOpDelete: {
+        st.deletes.fetch_add(1, std::memory_order_relaxed);
+        bool removed = false;
+        if (KeyFitsIndex(req.key)) {
+          esc_scratch.clear();
+          EscapeKey(req.key, &esc_scratch);
+          removed = server->index_->Remove(
+              KeyRef(esc_scratch.data(), esc_scratch.size()));
+        }  // over-long keys cannot be present: kNotFound
+        EncodeDeleteReply(&c->out, req.id, removed);
+        st.replies_out.fetch_add(1, std::memory_order_relaxed);
+        Touch(c);
+        break;
+      }
+      case kOpScan: {
+        st.scans.fetch_add(1, std::memory_order_relaxed);
+        uint32_t limit =
+            std::min(req.scan_limit, server->options_.max_scan_limit);
+        esc_scratch.clear();
+        EscapeKey(req.key, &esc_scratch);
+        ScanReplyBuilder builder(&c->out, req.id);
+        server->index_->ScanFrom(
+            KeyRef(esc_scratch.data(), esc_scratch.size()), limit,
+            [&](uint64_t id) {
+              const RecordStore::Record& rec = server->store_.At(id);
+              builder.Add(rec.raw_key(), rec.value);
+            });
+        builder.Finish();
+        st.scan_items.fetch_add(builder.count, std::memory_order_relaxed);
+        st.replies_out.fetch_add(1, std::memory_order_relaxed);
+        Touch(c);
+        break;
+      }
+    }
+  }
+
+  // End-of-iteration GET drain: one memory-level-parallel batched descent
+  // over every GET parsed this iteration (across all connections), scalar
+  // below the low-watermark or in forced-scalar mode.
+  void DrainGets() {
+    if (pending.empty()) return;
+    AtomicStats& st = *server->stats_;
+    const size_t n = pending.size();
+    batch_keys.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch_keys[i] =
+          KeyRef(arena.data() + pending[i].key_off, pending[i].key_len);
+    }
+    batch_out.assign(n, std::nullopt);
+    unsigned watermark = std::max(2u, server->options_.batch_low_watermark);
+    if (!server->force_scalar_.load(std::memory_order_relaxed) &&
+        n >= watermark) {
+      server->index_->LookupBatch(
+          std::span<const KeyRef>(batch_keys.data(), n),
+          std::span<std::optional<uint64_t>>(batch_out.data(), n));
+      st.batch_drains.fetch_add(1, std::memory_order_relaxed);
+      st.batched_gets.fetch_add(n, std::memory_order_relaxed);
+      st.MaxBatch(n);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        batch_out[i] = server->index_->Lookup(batch_keys[i]);
+      }
+      st.scalar_drains.fetch_add(1, std::memory_order_relaxed);
+      st.scalar_gets.fetch_add(n, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Conn* c = pending[i].conn;
+      if (c->dead) continue;  // peer gone before its answer materialized
+      bool found = batch_out[i].has_value();
+      uint64_t value =
+          found ? server->store_.At(*batch_out[i]).value : uint64_t{0};
+      EncodeGetReply(&c->out, pending[i].req_id, found, value);
+      st.replies_out.fetch_add(1, std::memory_order_relaxed);
+      Touch(c);
+    }
+    pending.clear();
+    arena.clear();
+  }
+
+  void FlushOut(Conn* c) {
+    while (c->out_off < c->out.size()) {
+      ssize_t n = ::write(c->fd, c->out.data() + c->out_off,
+                          c->out.size() - c->out_off);
+      if (n > 0) {
+        c->out_off += static_cast<size_t>(n);
+        server->stats_->bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                            std::memory_order_relaxed);
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        SetEpollOut(c, true);
+        MaybePause(c);
+        return;
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        c->dead = true;
+        return;
+      }
+    }
+    c->out.clear();
+    c->out_off = 0;
+    SetEpollOut(c, false);
+    if (c->want_close) {
+      c->dead = true;
+    } else {
+      MaybePause(c);
+    }
+  }
+
+  void SetEpollOut(Conn* c, bool enable) {
+    if (c->epollout == enable) return;
+    c->epollout = enable;
+    UpdateEpoll(c);
+  }
+
+  // Backpressure: drop EPOLLIN while the reply backlog is above the high
+  // watermark, restore it once the flush brings it under the low one.
+  void MaybePause(Conn* c) {
+    const ServerOptions& opt = server->options_;
+    bool should_pause = c->pending_out() > opt.high_watermark;
+    bool should_resume = c->pending_out() < opt.low_watermark;
+    if (!c->paused && should_pause) {
+      c->paused = true;
+      UpdateEpoll(c);
+    } else if (c->paused && should_resume) {
+      c->paused = false;
+      UpdateEpoll(c);
+    }
+  }
+
+  void UpdateEpoll(Conn* c) {
+    epoll_event ev{};
+    ev.events = (c->paused ? 0u : EPOLLIN) | (c->epollout ? EPOLLOUT : 0u);
+    ev.data.u64 = reinterpret_cast<uint64_t>(c);
+    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+
+  void Reap() {
+    for (size_t i = 0; i < conns.size();) {
+      if (!conns[i]->dead) {
+        ++i;
+        continue;
+      }
+      Conn* c = conns[i].get();
+      epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+      ::close(c->fd);
+      c->fd = -1;
+      server->stats_->connections_closed.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      conns[i] = std::move(conns.back());
+      conns.pop_back();
+    }
+  }
+};
+
+// --- server lifecycle --------------------------------------------------------
+
+KvServer::KvServer(ServerOptions options)
+    : options_(std::move(options)), stats_(std::make_unique<AtomicStats>()) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.shards == 0) options_.shards = 1;
+  force_scalar_.store(options_.force_scalar, std::memory_order_relaxed);
+  index_ = std::make_unique<Index>(
+      ycsb::UniformByteSplitters(options_.shards),
+      RecordKeyExtractor(&store_));
+}
+
+KvServer::~KvServer() { Stop(); }
+
+bool KvServer::Start(std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (started_.exchange(true)) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (listen(listen_fd_, 512) != 0) return fail("listen");
+  socklen_t alen = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  for (unsigned w = 0; w < options_.workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->server = this;
+    worker->id = w;
+    if (!worker->Init()) {
+      running_.store(false, std::memory_order_release);
+      Stop();
+      return fail("worker init");
+    }
+    workers_.push_back(std::move(worker));
+  }
+  // Worker 0 owns the listener.
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagListenFd;
+    if (epoll_ctl(workers_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) !=
+        0) {
+      running_.store(false, std::memory_order_release);
+      Stop();
+      return fail("epoll add listener");
+    }
+    workers_[0]->owns_listener = true;
+  }
+  for (auto& worker : workers_) {
+    threads_.emplace_back([w = worker.get()]() { w->Run(); });
+  }
+  return true;
+}
+
+void KvServer::Stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (was_running) {
+    for (auto& worker : workers_) worker->Wake();
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  // Account connections the workers still held when they exited.
+  for (auto& worker : workers_) {
+    for (auto& c : worker->conns) {
+      if (c->fd >= 0) {
+        ::close(c->fd);
+        c->fd = -1;
+        stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    worker->conns.clear();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace hot

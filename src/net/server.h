@@ -1,0 +1,158 @@
+// Multi-client epoll KV server over the range-sharded ROWEX HOT stack
+// (DESIGN.md §12).
+//
+// Architecture: `workers` event-loop threads, each with its own epoll set.
+// Worker 0 owns the listening socket and deals accepted connections to all
+// workers round-robin (an eventfd per worker wakes its loop).  A connection
+// lives on exactly one worker, so connection state needs no locks; the
+// index (RangeShardedIndex<RowexHotTrie>) and the record store are shared
+// and internally synchronized.
+//
+// Batch-aware scheduling — the reason this server exists: within one
+// event-loop iteration a worker parses every readable connection's pending
+// frames, executes writes (PUT/DELETE) and SCANs inline, but only QUEUES
+// point GETs.  At the end of the iteration the queued GETs — across all
+// connections — drain as ONE call into the index's memory-level-parallel
+// batched lookup (AMAC interleaved descent, hot/batch_lookup.h), falling
+// back to a scalar loop when fewer than `batch_low_watermark` are pending
+// (a 2-wide "batch" costs more in staging than it recovers in overlap).
+// Replies therefore complete out of request order; the protocol's request
+// ids are what lets clients cope (net/protocol.h).
+//
+// Backpressure: a connection whose pending reply bytes exceed
+// `high_watermark` stops being read (EPOLLIN dropped) until its output
+// drains below `low_watermark` — a slow reader stalls itself, not the
+// worker, and its unread requests stay in the kernel socket buffer where
+// TCP flow control pushes back on the sender.
+
+#ifndef HOT_NET_SERVER_H_
+#define HOT_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hot/rowex.h"
+#include "net/protocol.h"
+#include "net/record_store.h"
+#include "ycsb/range_sharded.h"
+
+namespace hot {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; see KvServer::port() after Start
+  unsigned workers = 1;
+  unsigned shards = 16;  // range shards over the escaped key space
+  // GET scheduling: batches below the low-watermark drain scalar; 0 or 1
+  // disables the scalar fallback entirely (everything batches).
+  unsigned batch_low_watermark = 4;
+  bool force_scalar = false;  // scalar-drain mode (bench baseline)
+  // Framing / resource limits.
+  size_t max_frame_body = kDefaultMaxFrameBody;
+  uint32_t max_scan_limit = kDefaultMaxScanLimit;
+  size_t high_watermark = 4u << 20;  // pause reading above this many
+  size_t low_watermark = 1u << 20;   // pending reply bytes; resume below
+};
+
+// Monotonic counters, all relaxed atomics: exact once the server is
+// quiescent, approximate while it runs.  The protocol/partial-I/O tests
+// lean on connections_* to prove fd hygiene and on the drain counters to
+// prove the scheduling mode actually taken.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_in = 0;
+  uint64_t replies_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t scan_items = 0;
+  uint64_t batch_drains = 0;    // LookupBatch calls
+  uint64_t batched_gets = 0;    // GETs answered through them
+  uint64_t scalar_drains = 0;   // scalar fallback rounds
+  uint64_t scalar_gets = 0;     // GETs answered scalar
+  uint64_t max_batch = 0;       // widest single drain
+  uint64_t protocol_errors = 0;  // fatal framing errors (connection closed)
+  uint64_t bad_requests = 0;     // contained per-frame errors
+  uint64_t keys_too_long = 0;
+
+  uint64_t connections_open() const {
+    return connections_accepted - connections_closed;
+  }
+};
+
+class KvServer {
+ public:
+  using Index =
+      ycsb::RangeShardedIndex<RowexHotTrie<RecordKeyExtractor>,
+                              RecordKeyExtractor>;
+
+  explicit KvServer(ServerOptions options = {});
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  // Binds, listens, and launches the worker threads.  Returns false (with
+  // *error set) on any socket failure; the server is then inert and may
+  // not be restarted.
+  bool Start(std::string* error);
+
+  // Closes the listener and every connection, joins the workers.  Safe to
+  // call repeatedly; also called by the destructor.
+  void Stop();
+
+  // Port actually bound (resolves options.port == 0). Valid after Start.
+  uint16_t port() const { return port_; }
+
+  ServerStats StatsSnapshot() const;
+
+  // Quiescent-only introspection for tests and benches.
+  const Index& index() const { return *index_; }
+  const RecordStore& store() const { return store_; }
+  size_t live_keys() const { return index_->size(); }
+
+  // Runtime toggle of the GET drain mode (bench/net_throughput flips it
+  // between phases so batched and scalar runs share one loaded server).
+  // Takes effect from the next event-loop iteration.
+  void set_force_scalar(bool v) {
+    force_scalar_.store(v, std::memory_order_relaxed);
+  }
+  bool force_scalar() const {
+    return force_scalar_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker;
+  friend struct Worker;
+
+  ServerOptions options_;
+  RecordStore store_;
+  std::unique_ptr<Index> index_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> force_scalar_{false};
+  std::atomic<unsigned> next_worker_{0};  // round-robin accept dealing
+
+  // One cache line of relaxed counters per stat field would be overkill;
+  // a single atomic mirror of ServerStats is enough for test-grade stats.
+  struct AtomicStats;
+  std::unique_ptr<AtomicStats> stats_;
+};
+
+}  // namespace net
+}  // namespace hot
+
+#endif  // HOT_NET_SERVER_H_

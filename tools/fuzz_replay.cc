@@ -8,6 +8,12 @@
 //       generate a deterministic trace and write it to a file
 //   fuzz_replay --replay in.trace [--index all|hot|rowex|art|masstree|btree]
 //       replay a trace file differentially; exit 1 on divergence
+//   fuzz_replay --replay in.trace --net [--scalar]
+//       replay the trace through a LOOPBACK KV SERVER (src/net) instead of
+//       in-process adapters: every op crosses the wire protocol, lookups
+//       are pipelined into the server's batch drain, and every reply is
+//       diffed against the Patricia oracle (--scalar forces the server's
+//       scalar drain path)
 //   fuzz_replay --shrink in.trace --index hot --out min.trace
 //       greedily minimize a failing trace
 //   fuzz_replay --long [--rounds N] [--ops M] [--seed S] [--out-dir DIR]
@@ -24,6 +30,7 @@
 #include <cstring>
 #include <string>
 
+#include "net/net_differ.h"
 #include "testing/differ.h"
 #include "testing/shrink.h"
 #include "testing/trace.h"
@@ -67,6 +74,8 @@ struct Args {
   uint64_t rounds = 20;
   uint64_t audit_every = 1000;
   bool zipf = false;
+  bool net = false;     // replay through the loopback KV server
+  bool scalar = false;  // --net: force the server's scalar GET drain
   std::string mix = "default";
 };
 
@@ -118,6 +127,10 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->file = v;
     } else if (arg == "--zipf") {
       a->zipf = true;
+    } else if (arg == "--net") {
+      a->net = true;
+    } else if (arg == "--scalar") {
+      a->scalar = true;
     } else {
       const char* v = need_value();
       if (v == nullptr) return false;
@@ -286,7 +299,19 @@ int main(int argc, char** argv) {
                    err.c_str());
       return 1;
     }
-    if (a.mode == "replay") return ReplayOn(a.index, t) == 0 ? 0 : 1;
+    if (a.mode == "replay") {
+      if (a.net) {
+        hot::net::NetDiffOptions opts;
+        opts.server.force_scalar = a.scalar;
+        hot::net::NetDiffResult res = hot::net::RunTraceOverNet(t, opts);
+        std::printf("[net%s] %s (%" PRIu64 " batched / %" PRIu64
+                    " scalar gets)\n",
+                    a.scalar ? "-scalar" : "", res.Describe().c_str(),
+                    res.stats.batched_gets, res.stats.scalar_gets);
+        return res.ok ? 0 : 1;
+      }
+      return ReplayOn(a.index, t) == 0 ? 0 : 1;
+    }
     if (a.index == "all") {
       std::fprintf(stderr, "--shrink needs a concrete --index\n");
       return 2;

@@ -1,0 +1,532 @@
+// Load generator for the network KV front-end (src/net).
+//
+//   kv_client --port P [--host 127.0.0.1]
+//             [--connections N]   one thread per connection      (default 4)
+//             [--workload A..F]   YCSB core mix                  (default C)
+//             [--dist uniform|zipf]                              (default uniform)
+//             [--keys K]          key universe size              (default 100000)
+//             [--load]            run the load phase (PUT all K keys) first
+//             [--ops M]           transaction ops total          (default 200000)
+//             [--pipeline D]      closed-loop depth/connection   (default 32)
+//             [--rate R]          OPEN loop: aggregate target ops/s
+//                                 (0 = closed loop)              (default 0)
+//             [--scan-len L]      max scan length for E          (default 100)
+//             [--seed S]                                         (default 1)
+//             [--json NAME]       also write BENCH_<NAME>.json
+//
+// Closed loop: every connection keeps `pipeline` requests outstanding —
+// deep pipelines are what lets the server's end-of-iteration batch drain
+// gather wide LookupBatch calls from few connections.  Latency is measured
+// from the flush that put a request on the wire to its reply.
+//
+// Open loop (--rate): sends are scheduled at a fixed aggregate rate
+// regardless of outstanding replies, and latency is measured from the
+// SCHEDULED send time — queueing delay under overload is part of the
+// number, as it should be for an open system.
+//
+// Workload F (read-modify-write) issues the PUT when the GET's reply
+// arrives; its latency spans GET-send to PUT-reply.
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json_out.h"
+#include "common/rng.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "obs/histogram.h"
+#include "ycsb/workload.h"
+
+namespace {
+
+using hot::KeyRef;
+using hot::SplitMix64;
+using hot::obs::LatencyHistogram;
+using hot::ZipfianGenerator;
+using hot::net::KvClient;
+using hot::net::Reply;
+using hot::ycsb::Distribution;
+using hot::ycsb::DistributionName;
+using hot::ycsb::WorkloadSpec;
+using hot::ycsb::YcsbWorkload;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  unsigned connections = 4;
+  char workload = 'C';
+  Distribution dist = Distribution::kUniform;
+  uint64_t keys = 100000;
+  bool load = false;
+  uint64_t ops = 200000;
+  unsigned pipeline = 32;
+  double rate = 0;  // > 0: open loop, aggregate ops/s
+  unsigned scan_len = 100;
+  uint64_t seed = 1;
+  std::string json;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--host H] [--connections N] "
+               "[--workload A-F] [--dist uniform|zipf] [--keys K] [--load] "
+               "[--ops M] [--pipeline D] [--rate R] [--scan-len L] "
+               "[--seed S] [--json NAME]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--load") {
+      a->load = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      return false;
+    }
+    std::string v = argv[++i];
+    if (arg == "--host") a->host = v;
+    else if (arg == "--port") a->port = std::atoi(v.c_str());
+    else if (arg == "--connections")
+      a->connections = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (arg == "--workload") a->workload = v.empty() ? 'C' : v[0];
+    else if (arg == "--dist") {
+      if (v == "uniform") a->dist = Distribution::kUniform;
+      else if (v == "zipf") a->dist = Distribution::kZipfian;
+      else {
+        std::fprintf(stderr, "unknown distribution %s\n", v.c_str());
+        return false;
+      }
+    } else if (arg == "--keys") a->keys = std::strtoull(v.c_str(), nullptr, 10);
+    else if (arg == "--ops") a->ops = std::strtoull(v.c_str(), nullptr, 10);
+    else if (arg == "--pipeline")
+      a->pipeline = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (arg == "--rate") a->rate = std::atof(v.c_str());
+    else if (arg == "--scan-len")
+      a->scan_len = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (arg == "--seed") a->seed = std::strtoull(v.c_str(), nullptr, 10);
+    else if (arg == "--json") a->json = v;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (a->port <= 0 || a->port > 65535) {
+    std::fprintf(stderr, "--port is required\n");
+    return false;
+  }
+  if (a->connections == 0) a->connections = 1;
+  if (a->pipeline == 0) a->pipeline = 1;
+  if (a->workload < 'A' || a->workload > 'F') {
+    std::fprintf(stderr, "--workload must be A..F\n");
+    return false;
+  }
+  return true;
+}
+
+// YCSB-style key bytes: fixed width keeps the wire framing uniform.
+void MakeKey(uint64_t idx, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012" PRIu64, idx);
+  out->assign(buf);
+}
+
+enum OpType : uint8_t { kGet = 0, kPut = 1, kScan = 2, kRmw = 3, kNumOpTypes = 4 };
+const char* kOpNames[kNumOpTypes] = {"get", "put", "scan", "rmw"};
+
+struct PendingReq {
+  OpType type;
+  uint64_t send_ns;
+  uint64_t key_idx;    // rmw: which key to write back
+  bool rmw_get_phase;  // true while the GET half is in flight
+};
+
+// Per-thread slice of the run, merged after join.
+struct ThreadState {
+  std::unique_ptr<LatencyHistogram> hist[kNumOpTypes];
+  uint64_t ops_done = 0;
+  uint64_t misses = 0;  // GET kNotFound
+  uint64_t scan_items = 0;
+  std::string error;
+
+  ThreadState() {
+    for (auto& h : hist) h = std::make_unique<LatencyHistogram>();
+  }
+};
+
+struct Shared {
+  Args args;
+  WorkloadSpec spec;
+  std::atomic<uint64_t> next_insert_key;  // workloads D/E grow the keyspace
+};
+
+// One closed- or open-loop connection.
+void RunConnection(Shared* shared, unsigned tid, uint64_t my_ops,
+                   ThreadState* st) {
+  const Args& a = shared->args;
+  KvClient client;
+  std::string err;
+  if (!client.Connect(a.host, static_cast<uint16_t>(a.port), &err)) {
+    st->error = "connect: " + err;
+    return;
+  }
+  SplitMix64 rng(a.seed * 7919 + tid);
+  ZipfianGenerator zipf(a.keys ? a.keys : 1, 0.99, a.seed + tid);
+  std::map<uint64_t, PendingReq> pending;
+  std::string key;
+  uint64_t issued = 0;
+
+  auto pick_idx = [&]() -> uint64_t {
+    uint64_t n = shared->next_insert_key.load(std::memory_order_relaxed);
+    if (n == 0) return 0;
+    if (shared->spec.dist == Distribution::kZipfian) {
+      return zipf.Next() % n;
+    }
+    if (shared->spec.dist == Distribution::kLatest) {
+      uint64_t r = zipf.Next() % n;
+      return n - 1 - r;
+    }
+    return rng.Next() % n;
+  };
+
+  // Issues one operation; returns false on transport failure.
+  auto issue = [&](uint64_t sched_ns) -> bool {
+    double p = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+    const WorkloadSpec& w = shared->spec;
+    PendingReq req;
+    req.send_ns = sched_ns;
+    req.rmw_get_phase = false;
+    uint64_t id;
+    if (p < w.read) {
+      req.type = kGet;
+      req.key_idx = pick_idx();
+      MakeKey(req.key_idx, &key);
+      id = client.SendGet(KeyRef(key));
+    } else if (p < w.read + w.update) {
+      req.type = kPut;
+      req.key_idx = pick_idx();
+      MakeKey(req.key_idx, &key);
+      id = client.SendPut(KeyRef(key), rng.Next() >> 1);
+    } else if (p < w.read + w.update + w.insert) {
+      req.type = kPut;
+      req.key_idx =
+          shared->next_insert_key.fetch_add(1, std::memory_order_relaxed);
+      MakeKey(req.key_idx, &key);
+      id = client.SendPut(KeyRef(key), rng.Next() >> 1);
+    } else if (p < w.read + w.update + w.insert + w.scan) {
+      req.type = kScan;
+      req.key_idx = pick_idx();
+      MakeKey(req.key_idx, &key);
+      uint32_t limit = 1 + static_cast<uint32_t>(
+                               rng.Next() % std::max(1u, a.scan_len));
+      id = client.SendScan(KeyRef(key), limit);
+    } else {
+      req.type = kRmw;
+      req.rmw_get_phase = true;
+      req.key_idx = pick_idx();
+      MakeKey(req.key_idx, &key);
+      id = client.SendGet(KeyRef(key));
+    }
+    pending[id] = req;
+    ++issued;
+    return true;
+  };
+
+  // Consumes one reply; false on transport failure.
+  auto consume = [&]() -> bool {
+    Reply r;
+    if (!client.ReadReply(&r, &err)) {
+      st->error = "read: " + err;
+      return false;
+    }
+    auto it = pending.find(r.id);
+    if (it == pending.end()) {
+      st->error = "reply for unknown id";
+      return false;
+    }
+    PendingReq req = it->second;
+    pending.erase(it);
+    if (r.status != hot::net::kOk && r.status != hot::net::kNotFound) {
+      st->error = std::string("server error: ") + r.error;
+      return false;
+    }
+    if (req.type == kRmw && req.rmw_get_phase) {
+      // Write-back half: same key, same pending entry, latency keeps the
+      // original send time.  Flushed immediately — the caller may be in a
+      // blocking drain loop that would otherwise never put it on the wire.
+      MakeKey(req.key_idx, &key);
+      uint64_t id = client.SendPut(KeyRef(key), rng.Next() >> 1);
+      req.rmw_get_phase = false;
+      pending[id] = req;
+      if (!client.Flush(&err)) {
+        st->error = "flush: " + err;
+        return false;
+      }
+      return true;
+    }
+    if (req.type == kGet && r.status == hot::net::kNotFound) ++st->misses;
+    if (req.type == kScan) st->scan_items += r.scan.size();
+    st->hist[req.type]->Record(NowNs() - req.send_ns);
+    ++st->ops_done;
+    return true;
+  };
+
+  if (a.rate > 0) {
+    // Open loop: fixed schedule, drain replies while waiting.
+    double thread_rate = a.rate / a.connections;
+    uint64_t interval_ns =
+        thread_rate > 0 ? static_cast<uint64_t>(1e9 / thread_rate) : 1;
+    uint64_t next_ns = NowNs();
+    while (issued < my_ops) {
+      uint64_t now = NowNs();
+      if (now >= next_ns) {
+        if (!issue(next_ns)) return;  // latency from the SCHEDULED time
+        if (!client.Flush(&err)) {
+          st->error = "flush: " + err;
+          return;
+        }
+        next_ns += interval_ns;
+        continue;
+      }
+      pollfd pfd{client.fd(), POLLIN, 0};
+      int timeout_ms = static_cast<int>((next_ns - now) / 1000000);
+      if (poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN)) {
+        if (!consume()) return;
+      }
+    }
+  } else {
+    // Closed loop: keep `pipeline` requests outstanding.
+    while (issued < my_ops || !pending.empty()) {
+      uint64_t before = issued;
+      while (pending.size() < a.pipeline && issued < my_ops) {
+        if (!issue(0)) return;
+      }
+      if (issued != before) {
+        uint64_t flushed_at = NowNs();
+        // Stamp this burst's requests with their actual wire time.
+        for (auto& [id, req] : pending) {
+          if (req.send_ns == 0) req.send_ns = flushed_at;
+        }
+        if (!client.Flush(&err)) {
+          st->error = "flush: " + err;
+          return;
+        }
+      }
+      // Drain half the window so refills stay wide (wide refills = wide
+      // server-side batches).
+      size_t target = pending.size() > a.pipeline / 2 && issued < my_ops
+                          ? a.pipeline / 2
+                          : 0;
+      while (pending.size() > target) {
+        if (!consume()) return;
+      }
+    }
+  }
+  // Drain whatever the open loop still has in flight.
+  while (!pending.empty()) {
+    if (!consume()) return;
+  }
+}
+
+// Load phase: all K keys PUT through every connection in parallel, deep
+// pipeline, round-robin key ownership.
+void RunLoad(Shared* shared, unsigned tid, ThreadState* st) {
+  const Args& a = shared->args;
+  KvClient client;
+  std::string err;
+  if (!client.Connect(a.host, static_cast<uint16_t>(a.port), &err)) {
+    st->error = "connect: " + err;
+    return;
+  }
+  SplitMix64 rng(a.seed * 31337 + tid);
+  std::string key;
+  std::map<uint64_t, uint64_t> pending;  // id -> send ns
+  for (uint64_t k = tid; k < a.keys; k += a.connections) {
+    MakeKey(k, &key);
+    pending[client.SendPut(KeyRef(key), rng.Next() >> 1)] = 0;
+    if (pending.size() >= a.pipeline) {
+      uint64_t now = NowNs();
+      for (auto& [id, t] : pending) {
+        if (t == 0) t = now;
+      }
+      if (!client.Flush(&err)) {
+        st->error = "flush: " + err;
+        return;
+      }
+      while (pending.size() > a.pipeline / 2) {
+        Reply r;
+        if (!client.ReadReply(&r, &err)) {
+          st->error = "read: " + err;
+          return;
+        }
+        auto it = pending.find(r.id);
+        if (it != pending.end()) {
+          st->hist[kPut]->Record(NowNs() - it->second);
+          pending.erase(it);
+          ++st->ops_done;
+        }
+      }
+    }
+  }
+  uint64_t now = NowNs();
+  for (auto& [id, t] : pending) {
+    if (t == 0) t = now;
+  }
+  if (!client.Flush(&err)) {
+    st->error = "flush: " + err;
+    return;
+  }
+  while (!pending.empty()) {
+    Reply r;
+    if (!client.ReadReply(&r, &err)) {
+      st->error = "read: " + err;
+      return;
+    }
+    auto it = pending.find(r.id);
+    if (it != pending.end()) {
+      st->hist[kPut]->Record(NowNs() - it->second);
+      pending.erase(it);
+      ++st->ops_done;
+    }
+  }
+}
+
+// Runs one phase across all connections; returns total ops and wall time.
+template <typename Fn>
+bool RunPhase(const char* phase, unsigned connections,
+              std::vector<ThreadState>* states, Fn&& body, uint64_t* total,
+              double* seconds) {
+  std::vector<std::thread> threads;
+  uint64_t t0 = NowNs();
+  for (unsigned t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t]() { body(t, &(*states)[t]); });
+  }
+  for (auto& th : threads) th.join();
+  *seconds = static_cast<double>(NowNs() - t0) / 1e9;
+  *total = 0;
+  for (auto& st : *states) {
+    *total += st.ops_done;
+    if (!st.error.empty()) {
+      std::fprintf(stderr, "%s: %s\n", phase, st.error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintOpLine(const char* name, const LatencyHistogram& h) {
+  if (h.count() == 0) return;
+  std::printf("  %-5s count=%-9" PRIu64 " mean=%8.1fus p50=%8.1fus "
+              "p99=%8.1fus p99.9=%8.1fus max=%8.1fus\n",
+              name, h.count(), h.Mean() / 1e3,
+              static_cast<double>(h.ValueAtPercentile(50)) / 1e3,
+              static_cast<double>(h.ValueAtPercentile(99)) / 1e3,
+              static_cast<double>(h.ValueAtPercentile(99.9)) / 1e3,
+              static_cast<double>(h.max()) / 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!ParseArgs(argc, argv, &a)) return Usage(argv[0]);
+  Shared shared{a, YcsbWorkload(a.workload, a.dist), {}};
+  shared.next_insert_key.store(a.keys, std::memory_order_relaxed);
+
+  std::printf("kv_client: %s:%d workload %c dist %s, %u connections, "
+              "%s, pipeline %u\n",
+              a.host.c_str(), a.port, a.workload,
+              DistributionName(shared.spec.dist), a.connections,
+              a.rate > 0 ? "open loop" : "closed loop", a.pipeline);
+
+  double load_seconds = 0;
+  uint64_t load_ops = 0;
+  std::vector<ThreadState> load_states(a.connections);
+  if (a.load) {
+    if (!RunPhase("load", a.connections, &load_states,
+                  [&](unsigned t, ThreadState* st) { RunLoad(&shared, t, st); },
+                  &load_ops, &load_seconds)) {
+      return 1;
+    }
+    std::printf("load: %" PRIu64 " keys in %.2fs (%.3f Mops)\n", load_ops,
+                load_seconds, load_ops / load_seconds / 1e6);
+  }
+
+  std::vector<ThreadState> txn_states(a.connections);
+  uint64_t txn_ops = 0;
+  double txn_seconds = 0;
+  uint64_t per_thread = a.ops / a.connections;
+  if (!RunPhase("txn", a.connections, &txn_states,
+                [&](unsigned t, ThreadState* st) {
+                  RunConnection(&shared, t, per_thread, st);
+                },
+                &txn_ops, &txn_seconds)) {
+    return 1;
+  }
+
+  LatencyHistogram merged[kNumOpTypes];
+  uint64_t misses = 0, scan_items = 0;
+  for (auto& st : txn_states) {
+    for (unsigned i = 0; i < kNumOpTypes; ++i) merged[i].Merge(*st.hist[i]);
+    misses += st.misses;
+    scan_items += st.scan_items;
+  }
+  double mops = txn_seconds > 0 ? txn_ops / txn_seconds / 1e6 : 0;
+  std::printf("txn: %" PRIu64 " ops in %.2fs (%.3f Mops), %" PRIu64
+              " misses, %" PRIu64 " scan items\n",
+              txn_ops, txn_seconds, mops, misses, scan_items);
+  for (unsigned i = 0; i < kNumOpTypes; ++i) {
+    PrintOpLine(kOpNames[i], merged[i]);
+  }
+
+  if (!a.json.empty()) {
+    hot::bench::BenchJson json(a.json);
+    json.meta()
+        .Add("workload", std::string(1, a.workload))
+        .Add("dist", DistributionName(shared.spec.dist))
+        .Add("connections", a.connections)
+        .Add("keys", a.keys)
+        .Add("pipeline", a.pipeline)
+        .Add("open_loop_rate", a.rate)
+        .Add("seed", a.seed);
+    for (unsigned i = 0; i < kNumOpTypes; ++i) {
+      if (merged[i].count() == 0) continue;
+      hot::bench::JsonObject row;
+      row.Add("op", kOpNames[i])
+          .Add("count", merged[i].count())
+          .Add("mean_us", merged[i].Mean() / 1e3)
+          .Add("p50_us",
+               static_cast<double>(merged[i].ValueAtPercentile(50)) / 1e3)
+          .Add("p99_us",
+               static_cast<double>(merged[i].ValueAtPercentile(99)) / 1e3)
+          .Add("p999_us",
+               static_cast<double>(merged[i].ValueAtPercentile(99.9)) / 1e3)
+          .Add("mops_total", mops);
+      json.AddResult(row);
+    }
+    json.WriteFile();
+  }
+  return 0;
+}

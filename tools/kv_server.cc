@@ -1,0 +1,106 @@
+// Standalone KV server binary over src/net (DESIGN.md §12).
+//
+//   kv_server [--host 127.0.0.1] [--port 7000] [--workers W] [--shards S]
+//             [--batch-low-watermark N] [--scalar]
+//             [--stats-every SECONDS]
+//
+// Serves until SIGINT/SIGTERM, then prints a final stats snapshot.  The
+// scheduling flags mirror ServerOptions: --scalar forces the scalar GET
+// drain (the baseline bench/net_throughput compares against), and the
+// low-watermark decides how many same-iteration GETs it takes before the
+// batched AMAC path engages.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+void PrintStats(const hot::net::ServerStats& s) {
+  std::printf(
+      "conns %" PRIu64 "/%" PRIu64 " open=%" PRIu64 " | frames %" PRIu64
+      " replies %" PRIu64 " | get %" PRIu64 " put %" PRIu64 " del %" PRIu64
+      " scan %" PRIu64 " | batched %" PRIu64 " in %" PRIu64
+      " drains (max %" PRIu64 ") scalar %" PRIu64 " | proto-err %" PRIu64
+      " bad-req %" PRIu64 "\n",
+      s.connections_accepted, s.connections_closed, s.connections_open(),
+      s.frames_in, s.replies_out, s.gets, s.puts, s.deletes, s.scans,
+      s.batched_gets, s.batch_drains, s.max_batch, s.scalar_gets,
+      s.protocol_errors, s.bad_requests);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hot::net::ServerOptions opt;
+  opt.port = 7000;
+  opt.workers = 1;
+  unsigned stats_every = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--scalar") {
+      opt.force_scalar = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      return 2;
+    }
+    std::string v = argv[++i];
+    if (arg == "--host") opt.host = v;
+    else if (arg == "--port")
+      opt.port = static_cast<uint16_t>(std::atoi(v.c_str()));
+    else if (arg == "--workers")
+      opt.workers = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (arg == "--shards")
+      opt.shards = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (arg == "--batch-low-watermark")
+      opt.batch_low_watermark =
+          static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (arg == "--stats-every")
+      stats_every = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  hot::net::KvServer server(opt);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "start: %s\n", err.c_str());
+    return 1;
+  }
+  signal(SIGINT, OnSignal);
+  signal(SIGTERM, OnSignal);
+  std::printf("kv_server listening on %s:%u (%u workers, %u shards, %s)\n",
+              opt.host.c_str(), server.port(), opt.workers, opt.shards,
+              opt.force_scalar ? "scalar drain" : "batched drain");
+  std::fflush(stdout);
+
+  unsigned elapsed = 0;
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    if (stats_every != 0 && ++elapsed >= stats_every) {
+      elapsed = 0;
+      PrintStats(server.StatsSnapshot());
+    }
+  }
+  server.Stop();
+  PrintStats(server.StatsSnapshot());
+  return 0;
+}
