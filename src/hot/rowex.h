@@ -39,6 +39,7 @@
 #include "common/epoch.h"
 #include "common/extractors.h"
 #include "hot/batch_lookup.h"
+#include "hot/bulk_load.h"
 #include "hot/fast_insert.h"
 #include "common/key.h"
 #include "hot/logical_node.h"
@@ -286,6 +287,25 @@ class RowexHotTrie {
       // restart
       telemetry_.writer_restarts.Add();
     }
+  }
+
+  // Bulk-builds from values sorted ascending by extracted key and
+  // duplicate-free, exactly like HotTrie::BulkLoad (hot/bulk_load.h) —
+  // same parallel BiNode-partitioned construction, same resulting shape.
+  // Quiescent-only and only on an EMPTY trie: the root is published with a
+  // release store, so readers starting afterwards see the full tree, but
+  // no concurrent writer may run during the build.  The recovery path
+  // (persist/recovery.h -> net/server.cc) rebuilds multi-million-key
+  // served tries through this instead of replaying inserts.
+  void BulkLoad(const uint64_t* values, size_t n, unsigned threads = 1) {
+    assert(empty() && "BulkLoad requires an empty trie");
+    uint64_t root = detail::ParallelBulkBuild(extractor_, values, n, alloc_,
+                                              threads);
+    root_.store(root, std::memory_order_release);
+    size_.store(n, std::memory_order_relaxed);
+  }
+  void BulkLoad(const std::vector<uint64_t>& values, unsigned threads = 1) {
+    BulkLoad(values.data(), values.size(), threads);
   }
 
   size_t size() const { return size_.load(std::memory_order_relaxed); }

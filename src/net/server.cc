@@ -12,7 +12,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <limits>
 #include <mutex>
+#include <span>
+
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
 
 namespace hot {
 namespace net {
@@ -48,6 +55,10 @@ struct KvServer::AtomicStats {
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> bad_requests{0};
   std::atomic<uint64_t> keys_too_long{0};
+  std::atomic<uint64_t> wal_commit_failures{0};
+  std::atomic<uint64_t> snapshots_taken{0};
+  std::atomic<uint64_t> snapshot_failures{0};
+  std::atomic<uint64_t> snapshot_last_records{0};
 
   void MaxBatch(uint64_t n) {
     uint64_t prev = max_batch.load(std::memory_order_relaxed);
@@ -79,6 +90,20 @@ ServerStats KvServer::StatsSnapshot() const {
   s.protocol_errors = a.protocol_errors.load();
   s.bad_requests = a.bad_requests.load();
   s.keys_too_long = a.keys_too_long.load();
+  s.wal_commit_failures = a.wal_commit_failures.load();
+  s.snapshots_taken = a.snapshots_taken.load();
+  s.snapshot_failures = a.snapshot_failures.load();
+  s.snapshot_last_records = a.snapshot_last_records.load();
+  if (wal_ != nullptr) {
+    persist::WalStats w = wal_->stats();
+    s.wal_appends = w.appends;
+    s.wal_writes = w.writes;
+    s.wal_fsyncs = w.fsyncs;
+    s.wal_sync_commits = w.sync_commits;
+    s.wal_group_committed = w.group_committed;
+    s.wal_rotations = w.rotations;
+    s.wal_segments_pruned = w.segments_pruned;
+  }
   return s;
 }
 
@@ -308,6 +333,26 @@ struct KvServer::Worker {
     MaybePause(c);
   }
 
+  // WAL-appends one write op and waits out its durability contract
+  // (persist/wal.h Commit).  True = proceed to the index; false = the
+  // error reply is already queued (only an fsync/write failure gets here —
+  // the op must not be acked, and applying it unacked would still be
+  // legal, but refusing keeps the failure loud).  No-op on a volatile
+  // server.
+  bool WalAppend(Conn* c, const Request& req, uint8_t op) {
+    if (server->wal_ == nullptr) return true;
+    uint64_t lsn = server->wal_->Append(
+        op, req.key, op == persist::kWalPut ? req.value : uint64_t{0});
+    std::string werr;
+    if (server->wal_->Commit(lsn, &werr)) return true;
+    AtomicStats& st = *server->stats_;
+    st.wal_commit_failures.fetch_add(1, std::memory_order_relaxed);
+    EncodeErrorReply(&c->out, req.id, kBadRequest, "wal commit: " + werr);
+    st.replies_out.fetch_add(1, std::memory_order_relaxed);
+    Touch(c);
+    return false;
+  }
+
   void HandleFrame(Conn* c, const uint8_t* body, size_t body_len) {
     AtomicStats& st = *server->stats_;
     Request req;
@@ -345,6 +390,11 @@ struct KvServer::Worker {
           Touch(c);
           break;
         }
+        // Durability before visibility: the op is in the WAL (and, under
+        // sync, on disk) before the index mutates or the ack encodes.  A
+        // commit failure refuses the ack and leaves the index untouched —
+        // never acknowledge what recovery could not reproduce.
+        if (!WalAppend(c, req, persist::kWalPut)) break;
         uint64_t id = server->store_.Append(req.key, req.value);
         KeyRef esc = server->store_.At(id).escaped_key();
         std::optional<uint64_t> prev_id = server->index_->Upsert(id, esc);
@@ -359,6 +409,10 @@ struct KvServer::Worker {
         st.deletes.fetch_add(1, std::memory_order_relaxed);
         bool removed = false;
         if (KeyFitsIndex(req.key)) {
+          // Logged even when the key turns out absent: replaying a delete
+          // of a missing key is a no-op, and logging-before-lookup keeps
+          // the WAL strictly ahead of the index.
+          if (!WalAppend(c, req, persist::kWalDelete)) break;
           esc_scratch.clear();
           EscapeKey(req.key, &esc_scratch);
           removed = server->index_->Remove(
@@ -538,6 +592,9 @@ bool KvServer::Start(std::string* error) {
     if (error != nullptr) *error = "server already started";
     return false;
   }
+  // Recovery first: the image must be rebuilt and the WAL open before a
+  // single connection can reach HandleFrame.
+  if (!options_.data_dir.empty() && !RecoverAndOpenWal(error)) return false;
   listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return fail("socket");
   int one = 1;
@@ -588,6 +645,9 @@ bool KvServer::Start(std::string* error) {
   for (auto& worker : workers_) {
     threads_.emplace_back([w = worker.get()]() { w->Run(); });
   }
+  if (wal_ != nullptr && options_.snapshot_trigger_bytes > 0) {
+    snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+  }
   return true;
 }
 
@@ -596,6 +656,11 @@ void KvServer::Stop() {
   if (was_running) {
     for (auto& worker : workers_) worker->Wake();
   }
+  {
+    std::lock_guard<std::mutex> lk(snapshot_wait_mu_);
+    snapshot_cv_.notify_all();
+  }
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -615,6 +680,134 @@ void KvServer::Stop() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  // After the workers: nothing appends anymore, so Close's final sync
+  // flush makes every accepted-but-async write durable on clean shutdown.
+  if (wal_ != nullptr) wal_->Close();
+}
+
+// --- durability --------------------------------------------------------------
+
+bool KvServer::RecoverAndOpenWal(std::string* error) {
+  namespace ps = persist;
+  using Clock = std::chrono::steady_clock;
+
+  auto t0 = Clock::now();
+  ps::RecoveryResult rec;
+  if (!ps::RecoverImage(options_.data_dir, &rec, error)) return false;
+  auto t1 = Clock::now();
+
+  // Refill the record store in merged (ascending-key) order: ids come out
+  // 0..n-1, so the id sequence IS the key-sorted value sequence the bulk
+  // build wants.
+  const size_t n = rec.records.size();
+  std::vector<uint64_t> ids;
+  ids.reserve(n);
+  for (const ps::RecoveredRecord& r : rec.records) {
+    // Every record passed KeyFitsIndex when it was first accepted.
+    assert(KeyFitsIndex(r.key_ref()));
+    ids.push_back(store_.Append(r.key_ref(), r.value));
+  }
+
+  if (n > 0) {
+    // Equi-depth splitters from the recovered escaped keys, so a skewed
+    // key space (shared prefixes) redistributes instead of collapsing
+    // into one shard of UniformByteSplitters.  Boundary keys must ascend
+    // strictly; equal neighbors are skipped (fewer shards, still correct).
+    ycsb::SplitterKeys splitters;
+    for (unsigned s = 1; s < options_.shards; ++s) {
+      KeyRef k = store_.At(ids[n * s / options_.shards]).escaped_key();
+      if (!splitters.empty() &&
+          KeyRef(splitters.back().data(), splitters.back().size())
+                  .Compare(k) >= 0) {
+        continue;
+      }
+      splitters.emplace_back(k.data(), k.data() + k.size());
+    }
+    if (!splitters.empty()) index_->Reshard(std::move(splitters));
+    unsigned threads = options_.recovery_threads != 0
+                           ? options_.recovery_threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+    index_->BulkLoadSorted(std::span<const uint64_t>(ids.data(), n), threads);
+  }
+  auto t2 = Clock::now();
+
+  recovery_.performed = true;
+  recovery_.snapshot_loaded = rec.snapshot_loaded;
+  recovery_.torn_tail = rec.torn_tail;
+  recovery_.records = n;
+  recovery_.snapshot_records = rec.snapshot_records;
+  recovery_.wal_segments = rec.wal_segments;
+  recovery_.wal_records_applied = rec.wal_records_applied;
+  recovery_.wal_records_stale = rec.wal_records_stale;
+  recovery_.last_lsn = rec.last_lsn;
+  recovery_.recover_seconds = std::chrono::duration<double>(t1 - t0).count();
+  recovery_.build_seconds = std::chrono::duration<double>(t2 - t1).count();
+
+  ps::Wal::Options wopt;
+  wopt.durability = options_.durability;
+  wopt.flush_interval_ms = options_.wal_flush_ms;
+  wal_ = std::make_unique<ps::Wal>();
+  if (!wal_->Open(options_.data_dir, rec.resume, wopt, error)) {
+    wal_.reset();
+    return false;
+  }
+  return true;
+}
+
+bool KvServer::TriggerSnapshot(std::string* error) {
+  if (wal_ == nullptr) {
+    if (error != nullptr) *error = "server has no data_dir (volatile)";
+    return false;
+  }
+  std::lock_guard<std::mutex> cycle(snapshot_mu_);
+  auto fail = [&](const std::string& why) {
+    stats_->snapshot_failures.fetch_add(1, std::memory_order_relaxed);
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  // Rotate first: cut C = last LSN the old segments can contain.  Writes
+  // landing during the scan go to the new segment (lsn > C) and replay
+  // idempotently whether or not the scan saw them (persist/recovery.h).
+  std::string err;
+  uint64_t cut = wal_->Rotate(&err);
+  if (!err.empty()) return fail("wal rotate: " + err);
+
+  persist::SnapshotWriter writer;
+  if (!writer.Open(persist::SnapshotPath(options_.data_dir), &err)) {
+    return fail(err);
+  }
+  // Global ordered scan; per-shard epoch protection inside the index.  A
+  // key upserted mid-scan contributes whichever record id the scan caught
+  // — either version replays to the same final state.
+  index_->ScanFrom(KeyRef(), std::numeric_limits<size_t>::max(),
+                   [&](uint64_t id) {
+                     const RecordStore::Record& r = store_.At(id);
+                     writer.Add(r.raw_key(), r.value);
+                   });
+  if (!writer.Finish(cut, &err)) return fail(err);
+
+  // Only after the rename is durable may the covered segments go.
+  wal_->PruneBelowCurrent();
+  stats_->snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+  stats_->snapshot_last_records.store(writer.count(),
+                                      std::memory_order_relaxed);
+  return true;
+}
+
+void KvServer::SnapshotLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lk(snapshot_wait_mu_);
+      snapshot_cv_.wait_for(lk, std::chrono::milliseconds(100), [this] {
+        return !running_.load(std::memory_order_acquire);
+      });
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (wal_->segment_bytes() < options_.snapshot_trigger_bytes) continue;
+    std::string err;
+    (void)TriggerSnapshot(&err);  // failure counted; retried next trigger
   }
 }
 

@@ -29,8 +29,10 @@
 #define HOT_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "hot/rowex.h"
 #include "net/protocol.h"
 #include "net/record_store.h"
+#include "persist/wal.h"
 #include "ycsb/range_sharded.h"
 
 namespace hot {
@@ -57,6 +60,36 @@ struct ServerOptions {
   uint32_t max_scan_limit = kDefaultMaxScanLimit;
   size_t high_watermark = 4u << 20;  // pause reading above this many
   size_t low_watermark = 1u << 20;   // pending reply bytes; resume below
+
+  // Durability (src/persist, DESIGN.md §13).  Empty data_dir = volatile
+  // server (no WAL, no snapshots, no recovery) — the pre-§13 behavior.
+  // With a data_dir, Start() recovers the image found there (snapshot +
+  // WAL tail -> bulk build) and every PUT/DELETE is WAL-appended before
+  // its reply; `durability` sets the ack contract (persist/wal.h).
+  std::string data_dir;
+  persist::Durability durability = persist::Durability::kSync;
+  unsigned wal_flush_ms = 50;  // async flusher cadence (kAsync loss bound)
+  // Auto-snapshot once the current WAL segment exceeds this many bytes
+  // (checked periodically); 0 disables the trigger — snapshots then happen
+  // only through TriggerSnapshot().
+  uint64_t snapshot_trigger_bytes = 0;
+  unsigned recovery_threads = 0;  // bulk-build workers; 0 = hw concurrency
+};
+
+// What Start() found and rebuilt from the data directory; all zero/false
+// for a volatile server.  Quiescent-exact (recovery runs before workers).
+struct RecoveryInfo {
+  bool performed = false;        // a data_dir was configured
+  bool snapshot_loaded = false;
+  bool torn_tail = false;        // newest WAL segment ended mid-frame
+  uint64_t records = 0;          // live keys after the merge
+  uint64_t snapshot_records = 0;
+  uint64_t wal_segments = 0;
+  uint64_t wal_records_applied = 0;
+  uint64_t wal_records_stale = 0;  // lsn <= snapshot cut (pre-prune crash)
+  uint64_t last_lsn = 0;
+  double recover_seconds = 0;  // disk -> merged image
+  double build_seconds = 0;    // merged image -> store + bulk-built index
 };
 
 // Monotonic counters, all relaxed atomics: exact once the server is
@@ -83,6 +116,21 @@ struct ServerStats {
   uint64_t protocol_errors = 0;  // fatal framing errors (connection closed)
   uint64_t bad_requests = 0;     // contained per-frame errors
   uint64_t keys_too_long = 0;
+
+  // Durability counters; all zero on a volatile server.  The WAL fields
+  // mirror persist::WalStats (group_committed / fsyncs is the group-commit
+  // amortization).
+  uint64_t wal_appends = 0;
+  uint64_t wal_writes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_sync_commits = 0;
+  uint64_t wal_group_committed = 0;
+  uint64_t wal_rotations = 0;
+  uint64_t wal_segments_pruned = 0;
+  uint64_t wal_commit_failures = 0;  // acks refused because fsync failed
+  uint64_t snapshots_taken = 0;
+  uint64_t snapshot_failures = 0;
+  uint64_t snapshot_last_records = 0;  // rows in the newest snapshot
 
   uint64_t connections_open() const {
     return connections_accepted - connections_closed;
@@ -120,6 +168,19 @@ class KvServer {
   const RecordStore& store() const { return store_; }
   size_t live_keys() const { return index_->size(); }
 
+  // Durability surface.  TriggerSnapshot runs one full snapshot cycle —
+  // rotate the WAL (cut), ordered scan into <data_dir>/snapshot.snap.tmp,
+  // atomic rename, prune covered segments — concurrently with serving
+  // traffic (the fuzzy-scan protocol in persist/recovery.h makes that
+  // safe).  Fails on a volatile server.  Safe from any thread; cycles are
+  // serialized.
+  bool TriggerSnapshot(std::string* error);
+  bool durable() const { return wal_ != nullptr; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  uint64_t wal_durable_lsn() const {
+    return wal_ ? wal_->durable_lsn() : 0;
+  }
+
   // Runtime toggle of the GET drain mode (bench/net_throughput flips it
   // between phases so batched and scalar runs share one loaded server).
   // Takes effect from the next event-loop iteration.
@@ -134,13 +195,24 @@ class KvServer {
   struct Worker;
   friend struct Worker;
 
+  // Recovery half of Start(): rebuild store_/index_ from data_dir and open
+  // the WAL at its resume point.  Runs before any worker thread exists.
+  bool RecoverAndOpenWal(std::string* error);
+  void SnapshotLoop();  // background auto-snapshot trigger
+
   ServerOptions options_;
   RecordStore store_;
   std::unique_ptr<Index> index_;
+  std::unique_ptr<persist::Wal> wal_;
+  RecoveryInfo recovery_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  std::thread snapshot_thread_;
+  std::mutex snapshot_mu_;  // serializes snapshot cycles
+  std::mutex snapshot_wait_mu_;
+  std::condition_variable snapshot_cv_;
   std::atomic<bool> running_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> force_scalar_{false};

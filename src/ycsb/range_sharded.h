@@ -80,6 +80,12 @@ concept SelfSynchronized = requires {
 };
 
 template <typename T>
+concept ShardHasBulkLoad = requires(T& t, const uint64_t* v, size_t n,
+                                    unsigned threads) {
+  t.BulkLoad(v, n, threads);
+};
+
+template <typename T>
 concept ShardHasUpsert = requires(T& t, uint64_t v) {
   { t.Upsert(v) } -> std::same_as<std::optional<uint64_t>>;
 };
@@ -232,6 +238,47 @@ class RangeShardedIndex {
           "RangeShardedIndex::Reshard requires an empty index");
     }
     InstallSplitters(std::move(splitters));
+  }
+
+  // Bulk-builds the whole sharded index from `values` sorted ascending by
+  // extracted key with no duplicates.  Only legal on an EMPTY index (same
+  // precondition as Reshard) and quiescent-only.  The globally sorted
+  // input is cut at the splitter boundaries — shard s's slice ends at the
+  // first value whose key reaches splitter[s], found by lower_bound, so
+  // the slices partition the input exactly as RouteOne would key-for-key —
+  // and each nonempty slice drives the shard's native BulkLoad.  Shards
+  // build one after another, each with the full `threads` budget (a single
+  // build already saturates its workers).  Available only on shard types
+  // with a BulkLoad (HotTrie, RowexHotTrie); restart recovery
+  // (net/server.cc) rebuilds multi-million-key images through this instead
+  // of replaying inserts.
+  void BulkLoadSorted(std::span<const uint64_t> values, unsigned threads = 1)
+    requires detail::ShardHasBulkLoad<Index>
+  {
+    if (size() != 0) {
+      throw std::logic_error(
+          "RangeShardedIndex::BulkLoadSorted requires an empty index");
+    }
+    size_t lo = 0;
+    for (unsigned s = 0; s < shard_count_; ++s) {
+      size_t hi = values.size();
+      if (s + 1 < shard_count_) {
+        KeyRef bound(splitters_[s].data(), splitters_[s].size());
+        auto it = std::lower_bound(values.begin() + lo, values.end(), bound,
+                                   [&](uint64_t v, KeyRef b) {
+                                     KeyScratch scratch;
+                                     return extractor_(v, scratch).Compare(b) <
+                                            0;
+                                   });
+        hi = static_cast<size_t>(it - values.begin());
+      }
+      if (hi > lo) {
+        WithShard(s, [&](Index& idx) {
+          idx.BulkLoad(values.data() + lo, hi - lo, threads);
+        });
+      }
+      lo = hi;
+    }
   }
 
   // --- point operations ------------------------------------------------------

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Recovery correctness gate for CI.
+
+Reads a BENCH_recovery.json produced by bench/recovery_time and fails
+(exit 1) unless EVERY row proves byte-identical recovery:
+
+  * match == true              (image CRC == scan CRC == oracle CRC)
+  * recovered_keys == expected_keys
+  * the three CRC fields agree with each other (belt and braces: `match`
+    is recomputed here, not trusted)
+  * recover_s / build_s are present and positive for non-empty images
+
+Usage:  check_recovery_gate.py [BENCH_recovery.json]
+
+The default path is ./BENCH_recovery.json, which is where the bench drops
+it when run from the repo root (CI runs it with --quick in the persist
+lane; the committed file tracks the full-size run).
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"recovery-gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_recovery.json"
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    if doc.get("bench") != "recovery":
+        fail(f"{path}: not a recovery bench file (bench={doc.get('bench')!r})")
+    rows = doc.get("results", [])
+    if not rows:
+        fail(f"{path}: no result rows — the bench did not complete")
+
+    required = (
+        "keys", "wal_tail_ops", "recover_s", "build_s", "recovered_keys",
+        "expected_keys", "image_crc", "scan_crc", "oracle_crc", "match",
+    )
+    for i, row in enumerate(rows):
+        where = f"{path} row {i} (keys={row.get('keys')}, " \
+                f"tail={row.get('wal_tail_ops')})"
+        for field in required:
+            if field not in row:
+                fail(f"{where}: missing field {field!r}")
+        if row["recovered_keys"] != row["expected_keys"]:
+            fail(f"{where}: recovered {row['recovered_keys']} keys, "
+                 f"expected {row['expected_keys']}")
+        crcs = {row["image_crc"], row["scan_crc"], row["oracle_crc"]}
+        if len(crcs) != 1:
+            fail(f"{where}: checksum mismatch image={row['image_crc']} "
+                 f"scan={row['scan_crc']} oracle={row['oracle_crc']}")
+        if row["match"] is not True:
+            fail(f"{where}: match flag is {row['match']!r}")
+        if row["expected_keys"] > 0 and not (
+                row["recover_s"] > 0 and row["build_s"] > 0):
+            fail(f"{where}: non-positive phase timings "
+                 f"(recover_s={row['recover_s']}, build_s={row['build_s']})")
+
+    total = sum(r["recovered_keys"] for r in rows)
+    print(f"recovery-gate: OK — {len(rows)} rows, {total} keys recovered "
+          f"byte-identical")
+
+
+if __name__ == "__main__":
+    main()
