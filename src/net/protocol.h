@@ -21,7 +21,8 @@
 //   PUT    kOk: u8 created, and when created == 0 the u64 replaced value
 //   DELETE kOk / kNotFound: empty
 //   SCAN   kOk: u32 count | count x { u16 klen | key bytes | u64 value }
-//   any    kBadFrame/kBadRequest/kKeyTooLong: u16 mlen | mlen message bytes
+//   any    kBadFrame/kBadRequest/kKeyTooLong/kServerError:
+//          u16 mlen | mlen message bytes
 //
 // Error containment contract (tests/net_protocol_test.cc pins it):
 //   * The 4-byte length prefix is the only thing the server trusts before
@@ -34,6 +35,9 @@
 //     key, zero scan limit) is contained to that frame: the server replies
 //     kBadRequest / kKeyTooLong with the frame's request id and keeps the
 //     connection; the parser never reads beyond the declared body.
+//   * A server-side fault executing a WELL-FORMED write (WAL commit
+//     failure) is likewise contained but uses kServerError, so clients can
+//     tell a retryable server fault from bad input they must not resend.
 //   * Request ids are opaque to the server and echoed verbatim.  Replies
 //     may arrive out of request order (batched GETs complete after any
 //     writes parsed in the same event-loop iteration) — clients match on
@@ -68,9 +72,12 @@ enum Opcode : uint8_t {
 enum Status : uint8_t {
   kOk = 0,
   kNotFound = 1,
-  kBadFrame = 2,    // fatal: connection closes after this reply
-  kBadRequest = 3,  // contained to the frame, connection survives
-  kKeyTooLong = 4,  // contained to the frame, connection survives
+  kBadFrame = 2,     // fatal: connection closes after this reply
+  kBadRequest = 3,   // contained to the frame, connection survives
+  kKeyTooLong = 4,   // contained to the frame, connection survives
+  kServerError = 5,  // server-side fault (e.g. WAL fsync failure): nothing
+                     // wrong with the request, the op was NOT acknowledged;
+                     // retryable once the server recovers
 };
 
 // Longest key accepted on the wire.  254 raw bytes is the largest length
@@ -314,7 +321,7 @@ inline bool ParseReply(const uint8_t* body, size_t body_len, uint8_t op,
   reply->scan.clear();
   reply->error.clear();
   if (reply->status == kBadFrame || reply->status == kBadRequest ||
-      reply->status == kKeyTooLong) {
+      reply->status == kKeyTooLong || reply->status == kServerError) {
     if (rest < 2) return bad("truncated error message length");
     uint16_t mlen = GetU16(p);
     if (mlen != rest - 2) return bad("error message length mismatch");

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <chrono>
 #include <limits>
@@ -333,21 +334,20 @@ struct KvServer::Worker {
     MaybePause(c);
   }
 
-  // WAL-appends one write op and waits out its durability contract
-  // (persist/wal.h Commit).  True = proceed to the index; false = the
-  // error reply is already queued (only an fsync/write failure gets here —
-  // the op must not be acked, and applying it unacked would still be
-  // legal, but refusing keeps the failure loud).  No-op on a volatile
-  // server.
-  bool WalAppend(Conn* c, const Request& req, uint8_t op) {
+  // Waits out the durability contract of an appended record (persist/wal.h
+  // Commit).  True = ack; false = the commit failed (only an fsync/write
+  // failure gets here) and a kServerError reply is queued instead.  The op
+  // was already applied to the live index — append and apply happen
+  // together under the key's write stripe, before this wait — but it was
+  // never acknowledged, so recovery is free to drop it.  No-op on a
+  // volatile server.
+  bool WalCommit(Conn* c, uint64_t req_id, uint64_t lsn) {
     if (server->wal_ == nullptr) return true;
-    uint64_t lsn = server->wal_->Append(
-        op, req.key, op == persist::kWalPut ? req.value : uint64_t{0});
     std::string werr;
     if (server->wal_->Commit(lsn, &werr)) return true;
     AtomicStats& st = *server->stats_;
     st.wal_commit_failures.fetch_add(1, std::memory_order_relaxed);
-    EncodeErrorReply(&c->out, req.id, kBadRequest, "wal commit: " + werr);
+    EncodeErrorReply(&c->out, req_id, kServerError, "wal commit: " + werr);
     st.replies_out.fetch_add(1, std::memory_order_relaxed);
     Touch(c);
     return false;
@@ -390,14 +390,26 @@ struct KvServer::Worker {
           Touch(c);
           break;
         }
-        // Durability before visibility: the op is in the WAL (and, under
-        // sync, on disk) before the index mutates or the ack encodes.  A
-        // commit failure refuses the ack and leaves the index untouched —
-        // never acknowledge what recovery could not reproduce.
-        if (!WalAppend(c, req, persist::kWalPut)) break;
-        uint64_t id = server->store_.Append(req.key, req.value);
-        KeyRef esc = server->store_.At(id).escaped_key();
-        std::optional<uint64_t> prev_id = server->index_->Upsert(id, esc);
+        // Log before apply, both under the key's write stripe: the WAL's
+        // LSN order and the index's apply order agree per key, so
+        // recovery's last-LSN-wins replay reproduces exactly what clients
+        // observed.  The durability wait (Commit) happens after the stripe
+        // is released — group commit still amortizes across keys — and a
+        // commit failure refuses the ack: never acknowledge what recovery
+        // could not reproduce.
+        uint64_t lsn = 0;
+        std::optional<uint64_t> prev_id;
+        {
+          std::unique_lock<std::mutex> stripe =
+              server->WriteStripeLock(req.key);
+          if (server->wal_ != nullptr) {
+            lsn = server->wal_->Append(persist::kWalPut, req.key, req.value);
+          }
+          uint64_t id = server->store_.Append(req.key, req.value);
+          KeyRef esc = server->store_.At(id).escaped_key();
+          prev_id = server->index_->Upsert(id, esc);
+        }
+        if (!WalCommit(c, req.id, lsn)) break;
         uint64_t prev =
             prev_id ? server->store_.At(*prev_id).value : uint64_t{0};
         EncodePutReply(&c->out, req.id, !prev_id.has_value(), prev);
@@ -410,13 +422,22 @@ struct KvServer::Worker {
         bool removed = false;
         if (KeyFitsIndex(req.key)) {
           // Logged even when the key turns out absent: replaying a delete
-          // of a missing key is a no-op, and logging-before-lookup keeps
-          // the WAL strictly ahead of the index.
-          if (!WalAppend(c, req, persist::kWalDelete)) break;
-          esc_scratch.clear();
-          EscapeKey(req.key, &esc_scratch);
-          removed = server->index_->Remove(
-              KeyRef(esc_scratch.data(), esc_scratch.size()));
+          // of a missing key is a no-op, and logging-before-apply under
+          // the write stripe keeps per-key LSN order equal to apply order
+          // (see kOpPut).
+          uint64_t lsn = 0;
+          {
+            std::unique_lock<std::mutex> stripe =
+                server->WriteStripeLock(req.key);
+            if (server->wal_ != nullptr) {
+              lsn = server->wal_->Append(persist::kWalDelete, req.key, 0);
+            }
+            esc_scratch.clear();
+            EscapeKey(req.key, &esc_scratch);
+            removed = server->index_->Remove(
+                KeyRef(esc_scratch.data(), esc_scratch.size()));
+          }
+          if (!WalCommit(c, req.id, lsn)) break;
         }  // over-long keys cannot be present: kNotFound
         EncodeDeleteReply(&c->out, req.id, removed);
         st.replies_out.fetch_add(1, std::memory_order_relaxed);
@@ -770,8 +791,20 @@ bool KvServer::TriggerSnapshot(std::string* error) {
   // Rotate first: cut C = last LSN the old segments can contain.  Writes
   // landing during the scan go to the new segment (lsn > C) and replay
   // idempotently whether or not the scan saw them (persist/recovery.h).
+  // All write stripes are held across the rotate so no op sits between
+  // WAL append and index apply when C is taken: every lsn <= C is applied
+  // before the scan below starts, so the snapshot + new segment really
+  // cover everything once the old segments are pruned.  Writers stall for
+  // the rotate (one flush + fsync), not for the scan.
   std::string err;
-  uint64_t cut = wal_->Rotate(&err);
+  uint64_t cut;
+  {
+    std::array<std::unique_lock<std::mutex>, kWriteStripes> quiesce;
+    for (size_t i = 0; i < kWriteStripes; ++i) {
+      quiesce[i] = std::unique_lock<std::mutex>(write_stripes_[i]);
+    }
+    cut = wal_->Rotate(&err);
+  }
   if (!err.empty()) return fail("wal rotate: " + err);
 
   persist::SnapshotWriter writer;

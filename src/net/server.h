@@ -28,6 +28,7 @@
 #ifndef HOT_NET_SERVER_H_
 #define HOT_NET_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -200,6 +201,26 @@ class KvServer {
   bool RecoverAndOpenWal(std::string* error);
   void SnapshotLoop();  // background auto-snapshot trigger
 
+  // Durable-mode write ordering: the stripe lock covering a key is held
+  // across {WAL append, index apply}, so per-key apply order equals LSN
+  // order and recovery's last-LSN-wins replay reconstructs exactly the
+  // state clients observed — without it, two workers racing on one key
+  // could ack A's value live but replay B's after a crash.  Returns an
+  // unlocked (empty) guard on a volatile server: with no WAL there is no
+  // LSN order to agree with, and the index is internally synchronized.
+  // 32 stripes, not more: the snapshot rotate quiesces by holding ALL of
+  // them (plus the snapshot and WAL mutexes), and TSan's deadlock
+  // detector hard-caps simultaneously held locks per thread at 64.
+  static constexpr size_t kWriteStripes = 32;
+  std::unique_lock<std::mutex> WriteStripeLock(KeyRef key) {
+    if (wal_ == nullptr) return {};
+    uint64_t h = 1469598103934665603ull;  // FNV-1a over the raw key
+    for (size_t i = 0; i < key.size(); ++i) {
+      h = (h ^ key.data()[i]) * 1099511628211ull;
+    }
+    return std::unique_lock<std::mutex>(write_stripes_[h % kWriteStripes]);
+  }
+
   ServerOptions options_;
   RecordStore store_;
   std::unique_ptr<Index> index_;
@@ -210,6 +231,7 @@ class KvServer {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::thread snapshot_thread_;
+  std::array<std::mutex, kWriteStripes> write_stripes_;
   std::mutex snapshot_mu_;  // serializes snapshot cycles
   std::mutex snapshot_wait_mu_;
   std::condition_variable snapshot_cv_;

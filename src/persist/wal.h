@@ -404,7 +404,12 @@ class Wal {
     last_appended_lsn_ = lsn;
     stats_.appends++;
     stats_.append_bytes += pending_.size() - before;
-    if (pending_.size() >= options_.write_buffer_bytes) {
+    if (pending_.size() >= options_.write_buffer_bytes && !flushing_) {
+      // Threshold write-out only when no leader flush is in flight:
+      // FlushLocked requires a single leader, and an in-flight leader
+      // already swapped the previous buffer out — whoever crosses the
+      // threshold next (or the next Commit / flusher tick) drains this
+      // one, so the skip leaves memory bounded by one flush's backlog.
       FlushLocked(&lk, /*sync=*/false);
     }
     return lsn;
@@ -569,14 +574,18 @@ class Wal {
     lk->unlock();
 
     bool ok = batch.empty() || detail::WriteAll(fd, batch.data(), batch.size());
+    int io_errno = ok ? 0 : errno;  // before relocking can clobber errno
     bool synced = false;
-    if (ok && sync) synced = ::fdatasync(fd) == 0;
+    if (ok && sync) {
+      synced = ::fdatasync(fd) == 0;
+      if (!synced) io_errno = errno;
+    }
 
     lk->lock();
     if (!ok || (sync && !synced)) {
       io_error_ = true;
       io_error_text_ = std::string("wal ") + (ok ? "fsync" : "write") + ": " +
-                       std::strerror(errno);
+                       std::strerror(io_errno);
     } else {
       if (!batch.empty()) {
         stats_.writes++;

@@ -157,6 +157,16 @@ TEST(NetProtocolCodec, ReplyRoundTripEveryShape) {
     EXPECT_EQ(reply.status, kBadRequest);
     EXPECT_EQ(reply.error, "nope");
   }
+  {
+    // Server-fault status (WAL commit failure): carries a message like the
+    // other error statuses but is distinguishable from bad input.
+    std::vector<uint8_t> buf;
+    EncodeErrorReply(&buf, 8, kServerError, "wal commit: fsync");
+    ASSERT_TRUE(
+        ParseReply(buf.data() + 4, buf.size() - 4, kOpPut, &reply, &err));
+    EXPECT_EQ(reply.status, kServerError);
+    EXPECT_EQ(reply.error, "wal commit: fsync");
+  }
 }
 
 // NextFrame must report kNeedMore for every strict prefix of a frame and

@@ -130,6 +130,68 @@ TEST(PersistServer, RestartRoundTripInEveryDurabilityMode) {
   }
 }
 
+// Racing writers on ONE key across two workers: the server's write-stripe
+// ordering holds {WAL append, index apply} together, so the value the live
+// index ends up serving is the value with the highest LSN — exactly what
+// recovery's last-LSN-wins replay reconstructs.  Without that ordering,
+// worker A could win the live index while worker B holds the higher LSN,
+// and a restart would silently revert to a value clients saw overwritten.
+TEST(PersistServer, ConcurrentSameKeyWritesRecoverToLiveValue) {
+  TempDir dir;
+  bool live_found = false;
+  uint64_t live_value = 0;
+  {
+    ServerOptions opt = DurableServer(dir.path, persist::Durability::kSync);
+    opt.workers = 2;
+    KvServer server(opt);
+    std::string err;
+    ASSERT_TRUE(server.Start(&err)) << err;
+    constexpr int kClients = 4;
+    constexpr int kWrites = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        KvClient c;
+        std::string cerr;
+        ASSERT_TRUE(c.Connect("127.0.0.1", server.port(), &cerr)) << cerr;
+        Reply reply;
+        for (int i = 0; i < kWrites; ++i) {
+          if (t == 0 && i % 3 == 2) {  // deletes race the puts too
+            ASSERT_TRUE(c.Delete(K("contended"), &reply, &cerr)) << cerr;
+            ASSERT_TRUE(reply.status == kOk || reply.status == kNotFound);
+          } else {
+            uint64_t v = static_cast<uint64_t>(t) * 1000000 + i;
+            ASSERT_TRUE(c.Put(K("contended"), v, &reply, &cerr)) << cerr;
+            ASSERT_TRUE(reply.ok());
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    KvClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server.port(), &err)) << err;
+    Reply reply;
+    ASSERT_TRUE(c.Get(K("contended"), &reply, &err)) << err;
+    live_found = reply.status == kOk;
+    live_value = reply.value;
+    server.Stop();
+  }
+  {
+    KvServer server(DurableServer(dir.path, persist::Durability::kSync));
+    std::string err;
+    ASSERT_TRUE(server.Start(&err)) << err;
+    KvClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server.port(), &err)) << err;
+    Reply reply;
+    ASSERT_TRUE(c.Get(K("contended"), &reply, &err)) << err;
+    EXPECT_EQ(reply.status == kOk, live_found);
+    if (live_found && reply.status == kOk) {
+      EXPECT_EQ(reply.value, live_value);
+    }
+    server.Stop();
+  }
+}
+
 TEST(PersistServer, SnapshotTriggerFiresAndRecoveryUsesIt) {
   TempDir dir;
   std::map<std::string, uint64_t> oracle;

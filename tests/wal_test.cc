@@ -324,6 +324,53 @@ TEST(Wal, SegmentNameRoundTrip) {
   EXPECT_FALSE(ParseWalSegmentName("snapshot.snap", &seq));
 }
 
+// Regression: an appender crossing the write-buffer threshold while a
+// group-commit leader's flush was mid-I/O (lock released) used to start a
+// SECOND concurrent flush — two threads writing the same fd can interleave
+// frames and publish a durable LSN ahead of the bytes an fsync actually
+// covered.  A tiny threshold plus a competing background flusher makes
+// that window constant; the appender must now skip while flushing_ is up.
+TEST(Wal, ThresholdFlushWhileLeaderFlushInFlight) {
+  TempDir dir;
+  Wal wal;
+  Wal::Options opt;
+  opt.durability = Durability::kSync;
+  opt.write_buffer_bytes = 64;  // every append crosses the threshold
+  opt.flush_interval_ms = 1;    // a background flusher competes too
+  std::string err;
+  ASSERT_TRUE(wal.Open(dir.path, WalResume(), opt, &err)) << err;
+
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (unsigned i = 0; i < kPerThread; ++i) {
+        std::string key = "thr" + std::to_string(t) + "-" + std::to_string(i);
+        uint64_t lsn = wal.Append(kWalPut, K(key), i);
+        std::string cerr;
+        ASSERT_TRUE(wal.Commit(lsn, &cerr)) << cerr;
+        ASSERT_LE(lsn, wal.durable_lsn());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wal.durable_lsn(), kThreads * kPerThread);
+  wal.Close();
+
+  // Single-leader flushing leaves one clean segment: every frame intact
+  // and LSNs in strict file order 1..N — interleaved writes from a second
+  // concurrent flusher would garble both.
+  WalReadResult rr;
+  std::vector<Rec> read = ReadAll(dir.path + "/" + WalSegmentName(1), &rr);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_FALSE(rr.torn);
+  ASSERT_EQ(read.size(), kThreads * kPerThread);
+  for (size_t i = 0; i < read.size(); ++i) {
+    ASSERT_EQ(read[i].lsn, i + 1);
+  }
+}
+
 TEST(Wal, AsyncDurabilityFlushesInBackground) {
   TempDir dir;
   Wal wal;
